@@ -1,0 +1,62 @@
+//! Criterion bench for experiments E6a–E6c: the Corollary 5.3
+//! application samplers end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_bench::workloads;
+use lds_core::apps;
+
+fn bench_hardcore_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6b_hardcore_app");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        let g = workloads::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                apps::sample_hardcore(&g, 1.0, 0.01, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6a_matching_app");
+    group.sample_size(10);
+    for &delta in &[3usize, 4] {
+        let g = workloads::regular(8, delta, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                apps::sample_matching(&g, 1.0, 0.02, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6c_coloring_app");
+    group.sample_size(10);
+    for &n in &[6usize, 8] {
+        let g = workloads::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                apps::sample_coloring(&g, 4, 0.02, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hardcore_app,
+    bench_matching_app,
+    bench_coloring_app
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment S1: Linial–Saks network decomposition
+//! (the Lemma 3.1 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_bench::workloads;
+use lds_localnet::decomposition::{linial_saks, DecompositionParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s1_linial_saks");
+    group.sample_size(10);
+    for &side in &[6usize, 10, 14] {
+        let g = workloads::torus(side);
+        let n = g.node_count();
+        let params = DecompositionParams::for_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| linial_saks(&g, params, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s1_power_graph");
+    group.sample_size(10);
+    let g = workloads::torus(10);
+    for &k in &[2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| lds_graph::power::power(&g, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition, bench_power_graph);
+criterion_main!(benches);

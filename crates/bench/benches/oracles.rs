@@ -1,0 +1,62 @@
+//! Criterion bench for experiment S2: marginal oracle throughput
+//! (SAW tree vs exact ball enumeration vs boosted).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_bench::workloads;
+use lds_gibbs::models::hardcore;
+use lds_gibbs::models::two_spin::TwoSpinParams;
+use lds_gibbs::PartialConfig;
+use lds_graph::NodeId;
+use lds_oracle::{
+    BoostedOracle, DecayRate, EnumerationOracle, InferenceOracle, MultiplicativeInference,
+    TwoSpinSawOracle,
+};
+
+fn bench_saw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s2_saw_oracle");
+    let g = workloads::torus(6);
+    let model = hardcore::model(&g, 1.0);
+    let tau = PartialConfig::empty(36);
+    let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
+    for &t in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| oracle.marginal(&model, &tau, NodeId(14), t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s2_enumeration_oracle");
+    let g = workloads::torus(4);
+    let model = hardcore::model(&g, 1.0);
+    let tau = PartialConfig::empty(16);
+    let oracle = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+    for &t in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| oracle.marginal(&model, &tau, NodeId(5), t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_boosted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_boosted_oracle");
+    group.sample_size(20);
+    let g = workloads::cycle(12);
+    let model = hardcore::model(&g, 1.0);
+    let tau = PartialConfig::empty(12);
+    let boosted = BoostedOracle::new(TwoSpinSawOracle::new(
+        TwoSpinParams::hardcore(1.0),
+        DecayRate::new(0.5, 2.0),
+    ));
+    for &eps in &[0.5f64, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| boosted.marginal_mul(&model, &tau, NodeId(0), eps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saw, bench_enumeration, bench_boosted);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for experiments E7/E8: the phase-transition sweep and
+//! the lower-bound witness machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_ssm::{correlation, estimator, phase};
+
+fn bench_phase_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_phase_sweep");
+    group.sample_size(20);
+    let ratios = [0.3, 0.6, 0.9, 1.2, 2.0];
+    for &depth in &[100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| phase::hardcore_tree_sweep(4, &ratios, depth))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gap_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_tree_gap_series");
+    for &depth in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| estimator::tree_gap_series(3, 2.0, depth))
+        });
+    }
+    group.finish();
+}
+
+fn bench_limiting_gap(c: &mut Criterion) {
+    c.bench_function("e8_limiting_gap_depth300", |b| {
+        b.iter(|| correlation::limiting_tree_gap(4, 2.5, 300))
+    });
+}
+
+criterion_group!(benches, bench_phase_sweep, bench_gap_series, bench_limiting_gap);
+criterion_main!(benches);

@@ -1,0 +1,399 @@
+//! The paper's applications (Corollary 5.3): exact LOCAL samplers for
+//! concrete models.
+//!
+//! | Model | Regime | Rounds (paper) |
+//! |---|---|---|
+//! | matchings (monomer–dimer) | all `λ` | `O(√Δ·log³ n)` |
+//! | hardcore | `λ < λ_c(Δ)` | `O(log³ n)` |
+//! | antiferromagnetic 2-spin / Ising | uniqueness | `O(log³ n)` |
+//! | `q`-colorings, triangle-free | `q ≥ αΔ, α > α*` | `O(log³ n)` |
+//! | weighted hypergraph matchings | `λ < λ_c(r, Δ)` | `O(log³ n)` |
+//!
+//! Every sampler here is `local-JVV` (Theorem 4.2) instantiated with the
+//! model's SSM rate: two-spin-shaped models use the SAW-tree oracle
+//! directly (edge models run on the line/intersection graph — the
+//! distance-preserving duality the paper invokes); colorings use the
+//! boosted enumeration oracle (tractable on bounded-ball workloads; see
+//! DESIGN.md §6).
+
+use lds_gibbs::models::matching::MatchingInstance;
+use lds_gibbs::models::two_spin::{self, TwoSpinParams};
+use lds_gibbs::models::{coloring, hardcore, hypergraph_matching::HypergraphMatchingInstance};
+use lds_gibbs::Config;
+use lds_graph::{EdgeId, Graph, Hypergraph, HyperEdgeId};
+use lds_localnet::{Instance, Network};
+use lds_oracle::{BoostedOracle, DecayRate, EnumerationOracle, TwoSpinSawOracle};
+
+use crate::complexity;
+use crate::jvv::{self, JvvStats};
+
+/// Error: the requested parameters are outside the regime for which the
+/// paper proves polylogarithmic sampling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutOfRegime {
+    /// The decay rate that was computed (`≥ 1` means no contraction).
+    pub rate: f64,
+    /// Human-readable description of the violated condition.
+    pub condition: String,
+}
+
+impl std::fmt::Display for OutOfRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parameters outside the uniqueness regime ({}; rate {:.3})",
+            self.condition, self.rate
+        )
+    }
+}
+
+impl std::error::Error for OutOfRegime {}
+
+/// Result of one application run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// The sampled configuration on the model's carrier graph.
+    pub output: Config,
+    /// Whether every node succeeded (exactness is conditional on this).
+    pub succeeded: bool,
+    /// Simulated LOCAL rounds.
+    pub rounds: usize,
+    /// The paper's round bound evaluated with constant 1.
+    pub bound_rounds: f64,
+    /// The decay rate used for radius planning.
+    pub rate: f64,
+    /// JVV execution statistics.
+    pub stats: JvvStats,
+}
+
+fn run_two_spin_jvv(
+    model: lds_gibbs::GibbsModel,
+    params: TwoSpinParams,
+    rate: f64,
+    eps: f64,
+    seed: u64,
+    bound_rounds: f64,
+) -> AppRun {
+    let n = model.node_count();
+    let net = Network::new(Instance::unconditioned(model), seed);
+    let oracle = TwoSpinSawOracle::new(params, DecayRate::new(rate.clamp(1e-6, 0.95), 2.0));
+    let (run, _schedule, stats) = jvv::sample_exact_local(&net, &oracle, eps, 0);
+    AppRun {
+        output: Config::from_values(run.outputs.clone()),
+        succeeded: run.succeeded(),
+        rounds: run.rounds,
+        bound_rounds,
+        rate,
+        stats: JvvStats { locality: stats.locality, ..stats },
+    }
+    .tap_check(n)
+}
+
+impl AppRun {
+    fn tap_check(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Per-run acceptance probability product (rejection success).
+    pub fn acceptance(&self) -> f64 {
+        self.stats.acceptance_product
+    }
+}
+
+/// Exact sampling from the hardcore model for `λ < λ_c(Δ)`
+/// (Corollary 5.3, second bullet; `O(log³ n)` rounds).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `λ ≥ λ_c(Δ)`.
+pub fn sample_hardcore(g: &Graph, lambda: f64, eps: f64, seed: u64) -> Result<AppRun, OutOfRegime> {
+    let delta = g.max_degree();
+    let lc = complexity::hardcore_uniqueness_threshold(delta);
+    if lambda >= lc {
+        return Err(OutOfRegime {
+            rate: complexity::hardcore_decay_rate(lambda, delta),
+            condition: format!("need λ < λ_c({delta}) = {lc:.4}, got {lambda}"),
+        });
+    }
+    let rate = complexity::hardcore_decay_rate(lambda, delta);
+    let bound = complexity::ssm_rounds_bound(rate.min(0.95), g.node_count(), 1.0);
+    Ok(run_two_spin_jvv(
+        hardcore::model(g, lambda),
+        TwoSpinParams::hardcore(lambda),
+        rate,
+        eps,
+        seed,
+        bound,
+    ))
+}
+
+/// Exact sampling from an antiferromagnetic two-spin system in the
+/// uniqueness regime (Corollary 5.3, fourth bullet; `O(log³ n)` rounds).
+///
+/// The caller supplies the decay rate for radius planning (exact rates
+/// for hardcore/Ising are in [`crate::complexity`]).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `rate ≥ 1` or the parameters are not
+/// antiferromagnetic.
+pub fn sample_two_spin(
+    g: &Graph,
+    params: TwoSpinParams,
+    rate: f64,
+    eps: f64,
+    seed: u64,
+) -> Result<AppRun, OutOfRegime> {
+    if !params.is_antiferromagnetic() {
+        return Err(OutOfRegime {
+            rate,
+            condition: "need βγ < 1 (antiferromagnetic)".into(),
+        });
+    }
+    if rate >= 1.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: "need decay rate < 1 (uniqueness)".into(),
+        });
+    }
+    let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
+    Ok(run_two_spin_jvv(
+        two_spin::model(g, params),
+        params,
+        rate,
+        eps,
+        seed,
+        bound,
+    ))
+}
+
+/// Result of a matching sampling run: the [`AppRun`] on the line graph
+/// plus the decoded matching.
+#[derive(Clone, Debug)]
+pub struct MatchingRun {
+    /// The underlying run (configurations index line-graph nodes).
+    pub run: AppRun,
+    /// The sampled matching as base-graph edges.
+    pub edges: Vec<EdgeId>,
+}
+
+/// Exact sampling of weighted matchings (monomer–dimer) — works for
+/// **all** `λ` and `Δ` (Corollary 5.3, first bullet; `O(√Δ·log³ n)`
+/// rounds): matchings always exhibit SSM at rate `1 − Ω(1/√(λΔ))`.
+pub fn sample_matching(g: &Graph, lambda: f64, eps: f64, seed: u64) -> MatchingRun {
+    let inst = MatchingInstance::new(g, lambda);
+    let delta = g.max_degree();
+    let rate = complexity::matching_decay_rate(lambda, delta);
+    let bound = complexity::matchings_rounds_bound(delta, g.node_count(), 1.0);
+    let run = run_two_spin_jvv(
+        inst.model().clone(),
+        TwoSpinParams::hardcore(lambda),
+        rate,
+        eps,
+        seed,
+        bound,
+    );
+    let edges = inst.edges_of(&run.output);
+    debug_assert!(inst.is_matching(&edges));
+    MatchingRun { run, edges }
+}
+
+/// Result of a hypergraph matching run.
+#[derive(Clone, Debug)]
+pub struct HypergraphMatchingRun {
+    /// The underlying run (configurations index intersection-graph nodes).
+    pub run: AppRun,
+    /// The sampled matching as hyperedges.
+    pub hyperedges: Vec<HyperEdgeId>,
+}
+
+/// Exact sampling of weighted hypergraph matchings for
+/// `λ < λ_c(r, Δ)` (Corollary 5.3, fifth bullet).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `λ ≥ λ_c(r, Δ)`.
+pub fn sample_hypergraph_matching(
+    h: &Hypergraph,
+    lambda: f64,
+    eps: f64,
+    seed: u64,
+) -> Result<HypergraphMatchingRun, OutOfRegime> {
+    let r = h.rank().max(2);
+    let delta = h.max_degree();
+    let lc = complexity::hypergraph_matching_threshold(r, delta.max(3));
+    if lambda >= lc {
+        return Err(OutOfRegime {
+            rate: 1.0,
+            condition: format!("need λ < λ_c({r}, {delta}) = {lc:.4}, got {lambda}"),
+        });
+    }
+    let inst = HypergraphMatchingInstance::new(h, lambda);
+    // the intersection graph is where the hardcore dynamics run
+    let ig_delta = inst.intersection_graph().max_degree();
+    let rate = complexity::hardcore_decay_rate(lambda, ig_delta.max(2));
+    let bound = complexity::log3_rounds_bound(h.node_count(), 1.0);
+    let run = run_two_spin_jvv(
+        inst.model().clone(),
+        TwoSpinParams::hardcore(lambda),
+        rate.min(0.95),
+        eps,
+        seed,
+        bound,
+    );
+    let hyperedges = inst.hyperedges_of(&run.output);
+    debug_assert!(inst.is_matching(&hyperedges));
+    Ok(HypergraphMatchingRun { run, hyperedges })
+}
+
+/// Exact sampling of proper `q`-colorings of triangle-free graphs with
+/// `q ≥ αΔ`, `α > α* ≈ 1.763` (Corollary 5.3, third bullet;
+/// `O(log³ n)` rounds).
+///
+/// Uses the boosted enumeration oracle, so it is practical on
+/// bounded-ball workloads (small `Δ` or small planned radius); see
+/// DESIGN.md §6.
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if the graph has a triangle or `q ≤ α*·Δ`.
+pub fn sample_coloring(g: &Graph, q: usize, eps: f64, seed: u64) -> Result<AppRun, OutOfRegime> {
+    if !g.is_triangle_free() {
+        return Err(OutOfRegime {
+            rate: 1.0,
+            condition: "graph has a triangle".into(),
+        });
+    }
+    let delta = g.max_degree();
+    let rate = complexity::coloring_decay_rate(q, delta.max(1));
+    if rate >= 1.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!(
+                "need q > α*·Δ ≈ {:.3}, got q = {q}",
+                complexity::alpha_star() * delta as f64
+            ),
+        });
+    }
+    let model = coloring::model(g, q);
+    let n = model.node_count();
+    let net = Network::new(Instance::unconditioned(model), seed);
+    let base = EnumerationOracle::new(DecayRate::new(rate.clamp(1e-6, 0.95), 2.0));
+    let oracle = BoostedOracle::new(base);
+    let (run, _schedule, stats) = jvv::sample_exact_local(&net, &oracle, eps, 0);
+    let bound = complexity::log3_rounds_bound(n, 1.0);
+    Ok(AppRun {
+        output: Config::from_values(run.outputs.clone()),
+        succeeded: run.succeeded(),
+        rounds: run.rounds,
+        bound_rounds: bound,
+        rate,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::{distribution, PartialConfig};
+    use lds_graph::{generators, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hardcore_app_in_uniqueness() {
+        let g = generators::cycle(8);
+        let run = sample_hardcore(&g, 1.0, 0.05, 7).unwrap();
+        assert!(run.rate < 1.0);
+        assert!(run.rounds > 0);
+        let m = hardcore::model(&g, 1.0);
+        assert!(m.weight(&run.output) > 0.0);
+        assert!(run.acceptance() <= 1.0);
+    }
+
+    #[test]
+    fn hardcore_app_rejects_nonuniqueness() {
+        let g = generators::torus(4, 4); // Δ = 4, λ_c = 27/16
+        let err = sample_hardcore(&g, 2.0, 0.05, 1).unwrap_err();
+        assert!(err.rate > 1.0);
+        assert!(err.to_string().contains("uniqueness"));
+    }
+
+    #[test]
+    fn matching_app_works_at_any_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::random_regular(10, 3, &mut rng);
+        let out = sample_matching(&g, 2.5, 0.05, 11);
+        assert!(out.run.rate < 1.0, "matchings always mix");
+        let inst = MatchingInstance::new(&g, 2.5);
+        assert!(inst.is_matching(&out.edges));
+    }
+
+    #[test]
+    fn two_spin_app_checks_regime() {
+        let g = generators::cycle(8);
+        // ferromagnetic rejected
+        let p = TwoSpinParams::new(2.0, 2.0, 1.0);
+        assert!(sample_two_spin(&g, p, 0.5, 0.05, 0).is_err());
+        // antiferro Ising in uniqueness
+        let ip = lds_gibbs::models::ising::IsingParams::new(-0.2, 0.0);
+        let rate = complexity::ising_decay_rate(-0.2, 2);
+        let run = sample_two_spin(&g, ip.to_two_spin(), rate, 0.05, 3).unwrap();
+        assert!(run.succeeded || !run.succeeded); // runs to completion
+        let m = two_spin::model(&g, ip.to_two_spin());
+        assert!(m.weight(&run.output) > 0.0);
+    }
+
+    #[test]
+    fn coloring_app_on_triangle_free() {
+        let g = generators::cycle(7); // Δ = 2, q = 4 > α*·2
+        let run = sample_coloring(&g, 4, 0.1, 5).unwrap();
+        assert!(coloring::is_proper(&g, &run.output));
+        // triangle rejected
+        let k3 = generators::complete(3);
+        assert!(sample_coloring(&k3, 9, 0.1, 0).is_err());
+        // too few colors rejected
+        let g2 = generators::torus(3, 3); // Δ = 4, α*Δ ≈ 7.05
+        assert!(sample_coloring(&g2, 6, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn hypergraph_matching_app() {
+        let h = Hypergraph::new(
+            6,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3), NodeId(4)],
+                vec![NodeId(4), NodeId(5), NodeId(0)],
+            ],
+        );
+        let out = sample_hypergraph_matching(&h, 0.3, 0.05, 2).unwrap();
+        let inst = HypergraphMatchingInstance::new(&h, 0.3);
+        assert!(inst.is_matching(&out.hyperedges));
+        // above threshold rejected
+        assert!(sample_hypergraph_matching(&h, 100.0, 0.05, 2).is_err());
+    }
+
+    #[test]
+    fn matching_empirical_distribution_is_exact() {
+        // small graph: conditioned-on-success outputs follow μ exactly
+        let g = generators::path(4); // 3 edges, line graph = path of 3
+        let inst = MatchingInstance::new(&g, 1.0);
+        let exact = distribution::joint_distribution(
+            inst.model(),
+            &PartialConfig::empty(3),
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        for seed in 0..8000u64 {
+            let out = sample_matching(&g, 1.0, 0.02, seed);
+            if out.run.succeeded {
+                samples.push(out.run.output);
+            }
+        }
+        assert!(samples.len() > 4000, "success rate too low");
+        let emp = lds_gibbs::metrics::empirical_distribution(&samples);
+        let tv = lds_gibbs::metrics::tv_distance_joint(&emp, &exact);
+        assert!(tv < 0.05, "matching TV {tv}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Baseline samplers the distributed algorithms are compared against.
+//!
+//! * [`glauber_dynamics`] — single-site Glauber dynamics (heat-bath MCMC),
+//!   the classic *sequential* sampler; approximate, with mixing time
+//!   `O(n log n)` in the uniqueness regime. Each update is local, but the
+//!   chain is inherently sequential — the comparison point motivating the
+//!   paper's parallel samplers.
+//! * [`global_chain_rule`] — the trivial `diam(G)`-round LOCAL algorithm:
+//!   gather the whole graph at every node and sample exactly with shared
+//!   randomness. Exact but maximally non-local; its "round count" is the
+//!   diameter, the quantity the paper's `Ω(diam)` lower bound talks
+//!   about.
+
+use lds_gibbs::{distribution, Config, GibbsModel, PartialConfig, Value};
+use lds_graph::{traversal, NodeId};
+use rand::Rng;
+
+/// One exact sample via whole-graph gathering (the `diam`-round trivial
+/// algorithm). Returns the configuration and the simulated round count
+/// (the graph's diameter).
+pub fn global_chain_rule<R: Rng + ?Sized>(
+    model: &GibbsModel,
+    pinning: &PartialConfig,
+    rng: &mut R,
+) -> (Config, usize) {
+    let config = distribution::sample_exact(model, pinning, rng);
+    let rounds = traversal::diameter(model.graph()) as usize;
+    (config, rounds)
+}
+
+/// Runs single-site Glauber dynamics for `steps` updates starting from a
+/// greedy feasible extension of the pinning. Pinned nodes are never
+/// updated. Returns `None` if no locally feasible starting state exists.
+///
+/// Each update resamples one uniformly random free node from its exact
+/// conditional distribution given its neighborhood — computable from the
+/// factors touching the node only.
+pub fn glauber_dynamics<R: Rng + ?Sized>(
+    model: &GibbsModel,
+    pinning: &PartialConfig,
+    steps: usize,
+    rng: &mut R,
+) -> Option<Config> {
+    let start = lds_gibbs::admissible::greedy_feasible_extension(model, pinning)?;
+    let mut config = start.to_config();
+    let free: Vec<NodeId> = pinning.free_nodes().collect();
+    if free.is_empty() {
+        return Some(config);
+    }
+    let q = model.alphabet_size();
+    for _ in 0..steps {
+        let v = free[rng.gen_range(0..free.len())];
+        let mut weights = vec![0.0f64; q];
+        for (c, w) in weights.iter_mut().enumerate() {
+            let mut local = 1.0f64;
+            for &fi in model.factors_touching(v) {
+                let f = &model.factors()[fi];
+                local *= f
+                    .eval_partial(|s| {
+                        Some(if s == v {
+                            Value::from_index(c)
+                        } else {
+                            config.get(s)
+                        })
+                    })
+                    .expect("full config");
+                if local == 0.0 {
+                    break;
+                }
+            }
+            *w = local;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            continue; // frozen site (cannot happen for soft models)
+        }
+        let val = distribution::sample_from_marginal(&weights, rng);
+        config.set(v, val);
+    }
+    Some(config)
+}
+
+/// Estimates the marginal at `v` by averaging Glauber samples (each run
+/// restarted independently with `steps` updates).
+pub fn glauber_marginal<R: Rng + ?Sized>(
+    model: &GibbsModel,
+    pinning: &PartialConfig,
+    v: NodeId,
+    steps: usize,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let q = model.alphabet_size();
+    let mut counts = vec![0usize; q];
+    let mut produced = 0usize;
+    for _ in 0..samples {
+        if let Some(c) = glauber_dynamics(model, pinning, steps, rng) {
+            counts[c.get(v).index()] += 1;
+            produced += 1;
+        }
+    }
+    if produced == 0 {
+        return vec![1.0 / q as f64; q];
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / produced as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::metrics;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glauber_preserves_feasibility() {
+        let g = generators::cycle(8);
+        let m = hardcore::model(&g, 1.5);
+        let tau = PartialConfig::empty(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let c = glauber_dynamics(&m, &tau, 200, &mut rng).unwrap();
+            assert!(m.weight(&c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn glauber_converges_to_target_marginal() {
+        let g = generators::cycle(6);
+        let m = hardcore::model(&g, 1.0);
+        let tau = PartialConfig::empty(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = glauber_marginal(&m, &tau, NodeId(0), 400, 4000, &mut rng);
+        let exact = distribution::marginal(&m, &tau, NodeId(0)).unwrap();
+        assert!(
+            metrics::tv_distance(&exact, &est) < 0.03,
+            "glauber {est:?} vs exact {exact:?}"
+        );
+    }
+
+    #[test]
+    fn glauber_respects_pins() {
+        let g = generators::path(5);
+        let m = coloring::model(&g, 3);
+        let mut tau = PartialConfig::empty(5);
+        tau.pin(NodeId(2), Value(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let c = glauber_dynamics(&m, &tau, 100, &mut rng).unwrap();
+            assert_eq!(c.get(NodeId(2)), Value(1));
+            assert!(coloring::is_proper(&g, &c));
+        }
+    }
+
+    #[test]
+    fn global_baseline_rounds_is_diameter() {
+        let g = generators::path(9);
+        let m = hardcore::model(&g, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (c, rounds) = global_chain_rule(&m, &PartialConfig::empty(9), &mut rng);
+        assert_eq!(rounds, 8);
+        assert!(m.weight(&c) > 0.0);
+    }
+
+    #[test]
+    fn fully_pinned_instance_returns_immediately() {
+        let g = generators::path(3);
+        let m = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(3);
+        tau.pin(NodeId(0), Value(0));
+        tau.pin(NodeId(1), Value(1));
+        tau.pin(NodeId(2), Value(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = glauber_dynamics(&m, &tau, 50, &mut rng).unwrap();
+        assert_eq!(c.get(NodeId(1)), Value(1));
+    }
+}

@@ -1,0 +1,253 @@
+//! Global counting from local inference — the chain-rule decomposition.
+//!
+//! The paper frames *inference* as the local counterpart of counting
+//! because, for self-reducible problems, the global count decomposes via
+//! the chain rule into marginal probabilities (introduction, citing
+//! Jerrum's monograph): for any feasible `σ`,
+//!
+//! `Z^τ = w(σ) / μ^τ(σ) = w(σ) / ∏_i μ^{τ∧σ_{<i}}_{v_i}(σ(v_i))`.
+//!
+//! So a multiplicative-error inference oracle yields a multiplicative
+//! approximation of the partition function: `n` factors, each within
+//! `e^{±ε}`, give `|ln Ẑ − ln Z| ≤ n·ε`. In the LOCAL model the `n`
+//! marginal computations run in parallel given the pinning chain — here
+//! we expose the sequential estimator, which is what a downstream
+//! counting user calls.
+
+use lds_gibbs::{GibbsModel, PartialConfig, Value};
+use lds_graph::NodeId;
+use lds_oracle::MultiplicativeInference;
+
+/// Result of a chain-rule partition function estimation.
+#[derive(Clone, Debug)]
+pub struct CountEstimate {
+    /// The estimate of `ln Z^τ`.
+    pub log_z: f64,
+    /// Guaranteed bound on `|ln Ẑ − ln Z|` given the oracle error: `n·ε`.
+    pub log_error_bound: f64,
+    /// The feasible anchor configuration used by the chain rule.
+    pub anchor: lds_gibbs::Config,
+}
+
+impl CountEstimate {
+    /// The estimate of `Z^τ` itself (may overflow to `inf` for large
+    /// instances; prefer [`CountEstimate::log_z`]).
+    pub fn z(&self) -> f64 {
+        self.log_z.exp()
+    }
+}
+
+/// Estimates `ln Z^τ` using a multiplicative inference oracle with error
+/// `ε` per marginal.
+///
+/// Walks the free nodes in id order, greedily building a feasible anchor
+/// `σ` (taking the oracle's argmax value at each step, which has positive
+/// true probability by the multiplicative guarantee), accumulating
+/// `−Σ ln μ̂(σ(v_i))`, and finally adding `ln w(σ)`.
+///
+/// Returns `None` if the anchor construction fails (cannot happen for
+/// locally admissible models with an honest oracle).
+pub fn log_partition_function<O: MultiplicativeInference>(
+    model: &GibbsModel,
+    pinning: &PartialConfig,
+    oracle: &O,
+    eps: f64,
+) -> Option<CountEstimate> {
+    let n = model.node_count();
+
+    let mut sigma = pinning.clone();
+    let mut log_z = 0.0f64;
+    let mut free_steps = 0usize;
+    for v in (0..n).map(NodeId::from_index) {
+        if sigma.is_pinned(v) {
+            continue;
+        }
+        let mu = oracle.marginal_mul(model, &sigma, v, eps);
+        let (argmax, p) = mu
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite marginal"))?;
+        if p <= 0.0 {
+            return None;
+        }
+        log_z -= p.ln();
+        sigma.pin(v, Value::from_index(argmax));
+        free_steps += 1;
+    }
+    let anchor = sigma.to_config();
+    let w = model.weight(&anchor);
+    if w <= 0.0 {
+        return None;
+    }
+    log_z += w.ln();
+    Some(CountEstimate {
+        log_z,
+        log_error_bound: free_steps as f64 * eps,
+        anchor,
+    })
+}
+
+/// Approximately counts independent sets of `g` weighted by fugacity `λ`
+/// (`λ = 1` counts plain independent sets). Convenience wrapper wiring
+/// the hardcore model to a boosted SAW oracle.
+pub fn count_independent_sets(
+    g: &lds_graph::Graph,
+    lambda: f64,
+    eps: f64,
+) -> Option<CountEstimate> {
+    use lds_gibbs::models::{hardcore, two_spin::TwoSpinParams};
+    use lds_oracle::{BoostedOracle, DecayRate, TwoSpinSawOracle};
+    let model = hardcore::model(g, lambda);
+    let rate = crate::complexity::hardcore_decay_rate(lambda, g.max_degree().max(2));
+    let oracle = BoostedOracle::new(TwoSpinSawOracle::new(
+        TwoSpinParams::hardcore(lambda),
+        DecayRate::new(rate.clamp(0.05, 0.95), 2.0),
+    ));
+    log_partition_function(&model, &PartialConfig::empty(g.node_count()), &oracle, eps)
+}
+
+/// Approximately counts matchings of `g` weighted by edge weight `λ`
+/// (`λ = 1` counts plain matchings), via the line-graph duality.
+pub fn count_matchings(g: &lds_graph::Graph, lambda: f64, eps: f64) -> Option<CountEstimate> {
+    use lds_gibbs::models::{matching::MatchingInstance, two_spin::TwoSpinParams};
+    use lds_oracle::{BoostedOracle, DecayRate, TwoSpinSawOracle};
+    let inst = MatchingInstance::new(g, lambda);
+    let rate = crate::complexity::matching_decay_rate(lambda, g.max_degree().max(1));
+    let oracle = BoostedOracle::new(TwoSpinSawOracle::new(
+        TwoSpinParams::hardcore(lambda),
+        DecayRate::new(rate.clamp(0.05, 0.95), 2.0),
+    ));
+    log_partition_function(
+        inst.model(),
+        &PartialConfig::empty(inst.model().node_count()),
+        &oracle,
+        eps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_gibbs::{distribution, models::two_spin::TwoSpinParams};
+    use lds_graph::generators;
+    use lds_oracle::{BoostedOracle, DecayRate, EnumerationOracle, TwoSpinSawOracle};
+
+    /// Independent-set counts of paths are Fibonacci numbers:
+    /// i(P_n) = F(n+2) with F(1) = F(2) = 1.
+    #[test]
+    fn path_independent_sets_are_fibonacci() {
+        let fib = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233];
+        for n in 2..=10usize {
+            let g = generators::path(n);
+            let est = count_independent_sets(&g, 1.0, 1e-4).unwrap();
+            let expect = fib[n + 1] as f64; // F(n+2), 0-indexed offset
+            assert!(
+                (est.log_z - expect.ln()).abs() <= est.log_error_bound + 1e-6,
+                "P{n}: ln Ẑ = {} vs ln {} (bound {})",
+                est.log_z,
+                expect,
+                est.log_error_bound
+            );
+        }
+    }
+
+    /// Independent-set counts of cycles are Lucas numbers:
+    /// i(C_n) = L(n) with L(1)=1, L(2)=3.
+    #[test]
+    fn cycle_independent_sets_are_lucas() {
+        let lucas = [2u64, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123, 199];
+        for n in 3..=10usize {
+            let g = generators::cycle(n);
+            let est = count_independent_sets(&g, 1.0, 1e-4).unwrap();
+            let expect = lucas[n] as f64;
+            assert!(
+                (est.log_z - expect.ln()).abs() <= est.log_error_bound + 1e-6,
+                "C{n}: ln Ẑ = {} vs ln {}",
+                est.log_z,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_counts_match_enumeration() {
+        let g = generators::grid(2, 3);
+        for lambda in [0.5f64, 1.5] {
+            let model = hardcore::model(&g, lambda);
+            let exact = distribution::partition_function(&model, &PartialConfig::empty(6));
+            let est = count_independent_sets(&g, lambda, 1e-5).unwrap();
+            assert!(
+                (est.log_z - exact.ln()).abs() <= est.log_error_bound + 1e-6,
+                "λ={lambda}: {} vs {}",
+                est.log_z,
+                exact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn matching_counts_match_enumeration() {
+        let g = generators::cycle(6);
+        let inst = lds_gibbs::models::matching::MatchingInstance::new(&g, 1.0);
+        let exact = distribution::partition_function(
+            inst.model(),
+            &PartialConfig::empty(inst.model().node_count()),
+        );
+        let est = count_matchings(&g, 1.0, 1e-5).unwrap();
+        assert!(
+            (est.log_z - exact.ln()).abs() <= est.log_error_bound + 1e-6,
+            "{} vs {}",
+            est.log_z,
+            exact.ln()
+        );
+    }
+
+    #[test]
+    fn coloring_counts_via_generic_estimator() {
+        // chromatic polynomial of C5 at q=3: (q-1)^5 + (q-1)·(-1)^5 = 30
+        let g = generators::cycle(5);
+        let model = coloring::model(&g, 3);
+        let oracle = BoostedOracle::new(EnumerationOracle::new(DecayRate::new(0.4, 2.0)));
+        let est =
+            log_partition_function(&model, &PartialConfig::empty(5), &oracle, 1e-5).unwrap();
+        assert!(
+            (est.log_z - 30.0f64.ln()).abs() <= est.log_error_bound + 1e-6,
+            "ln Ẑ = {} vs ln 30",
+            est.log_z
+        );
+    }
+
+    #[test]
+    fn conditional_counts_follow_pinning() {
+        // pin node 0 occupied on C5: remaining IS count = #IS containing v0
+        let g = generators::cycle(5);
+        let model = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(5);
+        tau.pin(lds_graph::NodeId(0), Value(1));
+        let exact = distribution::partition_function(&model, &tau);
+        let oracle = BoostedOracle::new(TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(1.0),
+            DecayRate::new(0.5, 2.0),
+        ));
+        let est = log_partition_function(&model, &tau, &oracle, 1e-5).unwrap();
+        assert!(
+            (est.log_z - exact.ln()).abs() <= est.log_error_bound + 1e-6,
+            "{} vs {}",
+            est.log_z,
+            exact.ln()
+        );
+        // anchor honors the pinning
+        assert_eq!(est.anchor.get(lds_graph::NodeId(0)), Value(1));
+    }
+
+    #[test]
+    fn error_bound_scales_with_eps_and_size() {
+        let g = generators::cycle(8);
+        let a = count_independent_sets(&g, 1.0, 1e-3).unwrap();
+        let b = count_independent_sets(&g, 1.0, 1e-5).unwrap();
+        assert!(b.log_error_bound < a.log_error_bound);
+        assert_eq!(a.log_error_bound, 8.0 * 1e-3);
+    }
+}

@@ -1,0 +1,521 @@
+//! The distributed JVV sampler — exact sampling via local rejection
+//! sampling (paper, Theorem 4.2, Proposition 4.3, Section 4.2).
+//!
+//! `local-JVV` is a three-pass SLOCAL algorithm over a multiplicative
+//! inference oracle `A` with error `ε` (the paper instantiates
+//! `ε = 1/n³`; [`LocalJvv::paper_epsilon`]):
+//!
+//! 1. **Ground state.** Scan the ordering and extend `τ` to a feasible
+//!    configuration `σ₀`, at each node picking an arbitrary value with
+//!    positive estimated marginal (positive estimate ⟹ positive truth,
+//!    thanks to the *multiplicative* guarantee).
+//! 2. **Random configuration.** Scan again and sample
+//!    `Y(v_i) ~ μ̂^{Y_{<i}}_{v_i}` with each node's private randomness —
+//!    the chain-rule sampler whose density `μ̂^τ` satisfies
+//!    `e^{−nε} ≤ μ̂^τ(σ)/μ^τ(σ) ≤ e^{nε}` (Claim 4.5).
+//! 3. **Local rejection.** Walk a configuration path
+//!    `σ₀ → σ₁ → ... → σ_n = Y` where `σ_i` agrees with `Y` on the first
+//!    `i` scanned nodes, stays feasible, and differs from `σ_{i−1}` only
+//!    inside `B_t(v_i)` (Claim 4.6 — realized here by greedy repair,
+//!    valid for locally admissible models). Node `v_i` accepts with
+//!    probability
+//!    `q_{v_i} = (μ̂^τ(σ_{i−1})·w(σ_i)) / (μ̂^τ(σ_i)·w(σ_{i−1})) · s`
+//!    where `s = e^{−3nε}` is the slack absorbing the oracle error
+//!    (Claim 4.7: `e^{−5nε} ≤ q_{v_i} ≤ 1`); both ratios telescope to
+//!    quantities computable within radius `O(t)` of `v_i` because distant
+//!    marginal calls see indistinguishable instances.
+//!
+//! Conditioned on **no** rejection the output `Y` follows `μ^τ`
+//! **exactly** (Lemma 4.8): the acceptance product
+//! `∏ q_{v_i} = (μ̂^τ(σ₀)/w(σ₀))·s^n·w(Y)/μ̂^τ(Y)` times the sampling
+//! density `μ̂^τ(Y)` is proportional to `w(Y)` — rejection sampling with
+//! locally computable acceptance. Success probability `≥ e^{−5n²ε}`,
+//! which is `1 − O(1/n)` at the paper's `ε = 1/n³`.
+
+use lds_gibbs::{distribution, Config, PartialConfig, Value};
+use lds_graph::{traversal, NodeId};
+use lds_localnet::local::LocalRun;
+use lds_localnet::scheduler::{self, ChromaticSchedule};
+use lds_localnet::slocal::{multipass_locality, SlocalAlgorithm, SlocalRun};
+use lds_localnet::Network;
+use lds_oracle::MultiplicativeInference;
+use rand::Rng;
+
+/// Randomness stream for pass 2 (sampling `Y`).
+pub const STREAM_JVV_SAMPLE: u64 = 2;
+/// Randomness stream for pass 3 (rejection coins).
+pub const STREAM_JVV_REJECT: u64 = 3;
+
+/// Execution statistics of one `local-JVV` run.
+#[derive(Clone, Debug, Default)]
+pub struct JvvStats {
+    /// Product of the acceptance probabilities `∏ q_{v_i}` (the success
+    /// probability of this execution's rejection phase given `Y`).
+    pub acceptance_product: f64,
+    /// Number of acceptance probabilities that had to be clamped to 1 —
+    /// always 0 when the oracle honors its error bound.
+    pub clamped: usize,
+    /// Number of nodes where the feasibility repair of Claim 4.6 failed —
+    /// always 0 for locally admissible models.
+    pub repair_failures: usize,
+    /// The single-pass locality (Lemma 4.4 folding of the three passes).
+    pub locality: usize,
+}
+
+/// Output of a detailed `local-JVV` execution.
+#[derive(Clone, Debug)]
+pub struct JvvOutcome {
+    /// The sampled configuration `Y` and per-node failure bits `F′`.
+    pub run: SlocalRun<Value>,
+    /// Statistics.
+    pub stats: JvvStats,
+}
+
+/// The `local-JVV` exact sampler.
+#[derive(Clone, Debug)]
+pub struct LocalJvv<'a, O> {
+    oracle: &'a O,
+    eps: f64,
+}
+
+impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
+    /// Creates the sampler over a multiplicative-error oracle with
+    /// per-marginal error `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ε ≤ 0`.
+    pub fn new(oracle: &'a O, eps: f64) -> Self {
+        assert!(eps > 0.0, "oracle error must be positive");
+        LocalJvv { oracle, eps }
+    }
+
+    /// The paper's instantiation `ε = 1/n³` (Proposition 4.3), giving
+    /// success probability `1 − O(1/n)`.
+    pub fn paper_epsilon(n: usize) -> f64 {
+        1.0 / (n.max(2) as f64).powi(3)
+    }
+
+    /// The slack factor `s = e^{−3nε}` of the rejection probabilities.
+    pub fn slack(&self, n: usize) -> f64 {
+        (-3.0 * n as f64 * self.eps).exp()
+    }
+
+    /// The rejection-phase success lower bound `e^{−5n²ε}` (Lemma 4.8
+    /// generalized to arbitrary `ε`).
+    pub fn success_lower_bound(&self, n: usize) -> f64 {
+        (-5.0 * (n * n) as f64 * self.eps).exp()
+    }
+
+    fn prefix_pinning(
+        base: &PartialConfig,
+        order: &[NodeId],
+        config: &Config,
+        upto: usize,
+    ) -> PartialConfig {
+        let mut p = base.clone();
+        for &u in &order[..upto] {
+            p.pin(u, config.get(u));
+        }
+        p
+    }
+
+    /// Runs the three passes and returns the full outcome.
+    pub fn run_detailed(&self, net: &Network, order: &[NodeId]) -> JvvOutcome {
+        let model = net.instance().model();
+        let tau = net.instance().pinning();
+        let g = model.graph();
+        let n = model.node_count();
+        let q = model.alphabet_size();
+        let ell = model.locality().max(1);
+        let t = self.oracle.radius_mul(model, self.eps);
+        let slack = self.slack(n);
+        let mut stats = JvvStats {
+            acceptance_product: 1.0,
+            locality: multipass_locality(&[t, t, 3 * t + ell]),
+            ..JvvStats::default()
+        };
+        let mut failures = vec![false; n];
+
+        // ---- Pass 1: ground state σ₀ ----
+        let mut sigma0_pin = tau.clone();
+        for &v in order {
+            if sigma0_pin.is_pinned(v) {
+                continue;
+            }
+            let mu = self.oracle.marginal_mul(model, &sigma0_pin, v, self.eps);
+            let choice = (0..q).find(|&c| mu[c] > 0.0);
+            match choice {
+                Some(c) => sigma0_pin.pin(v, Value::from_index(c)),
+                None => {
+                    // defensive fallback: greedy local feasibility
+                    let fallback = (0..q).find(|&c| {
+                        model.is_locally_feasible(
+                            &sigma0_pin.with_pin(v, Value::from_index(c)),
+                        )
+                    });
+                    match fallback {
+                        Some(c) => sigma0_pin.pin(v, Value::from_index(c)),
+                        None => {
+                            failures[v.index()] = true;
+                            sigma0_pin.pin(v, Value(0));
+                        }
+                    }
+                }
+            }
+        }
+        let sigma0 = sigma0_pin.to_config();
+
+        // ---- Pass 2: random configuration Y ----
+        let mut y_pin = tau.clone();
+        for &v in order {
+            if y_pin.is_pinned(v) {
+                continue;
+            }
+            let mu = self.oracle.marginal_mul(model, &y_pin, v, self.eps);
+            let mut rng = net.node_rng(v, STREAM_JVV_SAMPLE);
+            let val = distribution::sample_from_marginal(&mu, &mut rng);
+            y_pin.pin(v, val);
+        }
+        let y = y_pin.to_config();
+
+        // position of each node in the scan order
+        let mut pos = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+
+        // ---- Pass 3: local rejection ----
+        let mut sigma_prev = sigma0.clone();
+        for (i, &vi) in order.iter().enumerate() {
+            // σ_i: agree with Y on order[..=i], differ from σ_{i-1} only
+            // inside B_t(vi), stay feasible (Claim 4.6 via greedy repair).
+            let ball: Vec<NodeId> = traversal::ball(g, vi, t.max(ell));
+            let sigma_i = match repair(model, &sigma_prev, &y, &ball, &pos, i) {
+                Some(c) => c,
+                None => {
+                    stats.repair_failures += 1;
+                    failures[vi.index()] = true;
+                    continue;
+                }
+            };
+
+            // acceptance probability q_{v_i}
+            let cutoff = 2 * t.max(ell) + ell;
+            let dist = traversal::bfs_distances(g, vi);
+            let mut ratio = 1.0f64;
+            // density ratio μ̂^τ(σ_{i-1}) / μ̂^τ(σ_i): only scan positions
+            // within the cutoff ball differ.
+            for &vj in order {
+                let d = dist[vj.index()];
+                if d == traversal::UNREACHABLE || d as usize > cutoff {
+                    continue;
+                }
+                if tau.is_pinned(vj) {
+                    continue;
+                }
+                let j = pos[vj.index()];
+                let prev_val = sigma_prev.get(vj);
+                let new_val = sigma_i.get(vj);
+                let prefix_prev = Self::prefix_pinning(tau, order, &sigma_prev, j);
+                let prefix_new = Self::prefix_pinning(tau, order, &sigma_i, j);
+                if prev_val == new_val && prefix_prev == prefix_new {
+                    continue;
+                }
+                let mu_prev =
+                    self.oracle.marginal_mul(model, &prefix_prev, vj, self.eps);
+                let mu_new = self.oracle.marginal_mul(model, &prefix_new, vj, self.eps);
+                let num = mu_prev[prev_val.index()];
+                let den = mu_new[new_val.index()];
+                if den > 0.0 {
+                    ratio *= num / den;
+                }
+            }
+            // weight ratio w(σ_i) / w(σ_{i-1}): factors touching the ball
+            for &u in &ball {
+                for &fi in model.factors_touching(u) {
+                    let f = &model.factors()[fi];
+                    // count each factor once: at its minimum ball member
+                    let first = f
+                        .scope()
+                        .iter()
+                        .filter(|s| {
+                            dist[s.index()] != traversal::UNREACHABLE
+                                && (dist[s.index()] as usize) <= t.max(ell)
+                        })
+                        .min()
+                        .copied();
+                    if first != Some(u) {
+                        continue;
+                    }
+                    let w_new = f
+                        .eval_partial(|s| Some(sigma_i.get(s)))
+                        .expect("full config");
+                    let w_prev = f
+                        .eval_partial(|s| Some(sigma_prev.get(s)))
+                        .expect("full config");
+                    if w_prev > 0.0 {
+                        ratio *= w_new / w_prev;
+                    }
+                }
+            }
+
+            let mut q_vi = ratio * slack;
+            if q_vi > 1.0 {
+                stats.clamped += 1;
+                q_vi = 1.0;
+            }
+            stats.acceptance_product *= q_vi;
+            let mut rng = net.node_rng(vi, STREAM_JVV_REJECT);
+            if !rng.gen_bool(q_vi.max(0.0)) {
+                failures[vi.index()] = true;
+            }
+            sigma_prev = sigma_i;
+        }
+
+        let outputs: Vec<Value> = (0..n).map(|i| y.get(NodeId::from_index(i))).collect();
+        JvvOutcome {
+            run: SlocalRun { outputs, failures },
+            stats,
+        }
+    }
+}
+
+/// Claim 4.6 constructively: find `σ_i` agreeing with `Y` on scanned
+/// positions `≤ i`, equal to `σ_prev` outside `ball`, feasible. Greedy
+/// repair inside the ball (sound for locally admissible models).
+fn repair(
+    model: &lds_gibbs::GibbsModel,
+    sigma_prev: &Config,
+    y: &Config,
+    ball: &[NodeId],
+    pos: &[usize],
+    i: usize,
+) -> Option<Config> {
+    let n = model.node_count();
+    let in_ball = {
+        let mut b = vec![false; n];
+        for &u in ball {
+            b[u.index()] = true;
+        }
+        b
+    };
+    let mut pinning = PartialConfig::empty(n);
+    for u in (0..n).map(NodeId::from_index) {
+        if !in_ball[u.index()] {
+            // unchanged outside the ball
+            pinning.pin(u, sigma_prev.get(u));
+        } else if pos[u.index()] <= i {
+            // scanned nodes (including v_i itself) take Y's values
+            pinning.pin(u, y.get(u));
+        }
+    }
+    if !model.is_locally_feasible(&pinning) {
+        return None;
+    }
+    let full = lds_gibbs::admissible::greedy_feasible_extension(model, &pinning)?;
+    Some(full.to_config())
+}
+
+impl<O: MultiplicativeInference> SlocalAlgorithm for LocalJvv<'_, O> {
+    type Output = Value;
+
+    fn locality(&self, _n: usize) -> usize {
+        // conservative: computed precisely per-model in run_detailed
+        // (multipass_locality of [t, t, 3t + ℓ]); the trait method cannot
+        // see the model, so report a placeholder refined by the runner.
+        0
+    }
+
+    fn run_sequential(&self, net: &Network, order: &[NodeId]) -> SlocalRun<Value> {
+        self.run_detailed(net, order).run
+    }
+}
+
+/// Runs `local-JVV` in the LOCAL model via the Lemma 3.1 transformation,
+/// with the locality computed from the model (Theorem 4.2's
+/// `O(t(n)·log² n)` rounds). Returns the LOCAL run (failures combine the
+/// rejection bits `F′` with the decomposition bits `F″`), the schedule,
+/// and the JVV statistics.
+pub fn sample_exact_local<O: MultiplicativeInference>(
+    net: &Network,
+    oracle: &O,
+    eps: f64,
+    stream: u64,
+) -> (LocalRun<Value>, ChromaticSchedule, JvvStats) {
+    let model = net.instance().model();
+    let ell = model.locality().max(1);
+    let t = oracle.radius_mul(model, eps);
+    let locality = multipass_locality(&[t, t, 3 * t + ell]);
+    let schedule = scheduler::chromatic_schedule(net, locality, stream);
+    let jvv = LocalJvv::new(oracle, eps);
+    let outcome = jvv.run_detailed(net, &schedule.order);
+    let n = net.node_count();
+    let failures: Vec<bool> = (0..n)
+        .map(|v| outcome.run.failures[v] || schedule.failed[v])
+        .collect();
+    (
+        LocalRun {
+            outputs: outcome.run.outputs,
+            failures,
+            rounds: schedule.rounds,
+        },
+        schedule,
+        outcome.stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::metrics;
+    use lds_gibbs::models::two_spin::TwoSpinParams;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_graph::{generators, ordering};
+    use lds_localnet::Instance;
+    use lds_oracle::{BoostedOracle, DecayRate, EnumerationOracle, TwoSpinSawOracle};
+
+    fn boosted_saw(lambda: f64) -> BoostedOracle<TwoSpinSawOracle> {
+        BoostedOracle::new(TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda),
+            DecayRate::new(0.5, 2.0),
+        ))
+    }
+
+    #[test]
+    fn ground_state_and_output_are_feasible() {
+        let g = generators::cycle(7);
+        let model = hardcore::model(&g, 1.0);
+        let oracle = boosted_saw(1.0);
+        let jvv = LocalJvv::new(&oracle, 0.05);
+        for seed in 0..10 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let out = jvv.run_detailed(&net, &ordering::identity(&g));
+            let y = Config::from_values(out.run.outputs.clone());
+            assert!(model.weight(&y) > 0.0, "seed {seed}: infeasible Y");
+            assert_eq!(out.stats.repair_failures, 0);
+        }
+    }
+
+    #[test]
+    fn acceptance_probabilities_within_bounds() {
+        let g = generators::cycle(6);
+        let model = hardcore::model(&g, 1.3);
+        let oracle = boosted_saw(1.3);
+        let eps = 0.01;
+        let jvv = LocalJvv::new(&oracle, eps);
+        let net = Network::new(Instance::unconditioned(model), 3);
+        let out = jvv.run_detailed(&net, &ordering::identity(&g));
+        assert_eq!(out.stats.clamped, 0, "oracle violated its error bound");
+        assert!(out.stats.acceptance_product <= 1.0 + 1e-12);
+        assert!(
+            out.stats.acceptance_product >= jvv.success_lower_bound(6) - 1e-9,
+            "acceptance {} below bound {}",
+            out.stats.acceptance_product,
+            jvv.success_lower_bound(6)
+        );
+    }
+
+    #[test]
+    fn exactness_on_small_cycle() {
+        // conditioned on success, outputs must follow μ^τ exactly
+        let n = 5usize;
+        let g = generators::cycle(n);
+        let model = hardcore::model(&g, 1.0);
+        let oracle = boosted_saw(1.0);
+        let jvv = LocalJvv::new(&oracle, 0.02);
+        let order = ordering::identity(&g);
+        let trials = 30_000usize;
+        let mut accepted = Vec::new();
+        for seed in 0..trials as u64 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let out = jvv.run_detailed(&net, &order);
+            if out.run.succeeded() {
+                accepted.push(Config::from_values(out.run.outputs));
+            }
+        }
+        let success_rate = accepted.len() as f64 / trials as f64;
+        assert!(
+            success_rate >= jvv.success_lower_bound(n) - 0.02,
+            "success rate {success_rate}"
+        );
+        let emp = metrics::empirical_distribution(&accepted);
+        let exact = distribution::joint_distribution(
+            &model,
+            &PartialConfig::empty(n),
+        )
+        .unwrap();
+        let tv = metrics::tv_distance_joint(&emp, &exact);
+        assert!(tv < 0.05, "conditioned-on-success TV {tv}");
+    }
+
+    #[test]
+    fn exactness_with_exact_oracle_via_enumeration() {
+        // with an exact oracle (radius covers the graph) the acceptance
+        // is the constant slack and the output is exactly the chain rule
+        let n = 4usize;
+        let g = generators::path(n);
+        let model = hardcore::model(&g, 2.0);
+        let base = EnumerationOracle::new(DecayRate::new(0.1, 4.0));
+        let oracle = BoostedOracle::new(base);
+        let eps = 1e-6;
+        let jvv = LocalJvv::new(&oracle, eps);
+        let net = Network::new(Instance::unconditioned(model.clone()), 0);
+        let out = jvv.run_detailed(&net, &ordering::identity(&g));
+        // q_{v_i} = slack for every node when the oracle is exact
+        let expect = jvv.slack(n).powi(n as i32);
+        assert!(
+            (out.stats.acceptance_product - expect).abs() < 1e-9,
+            "acceptance {} expected {}",
+            out.stats.acceptance_product,
+            expect
+        );
+    }
+
+    #[test]
+    fn respects_pinning() {
+        let g = generators::cycle(6);
+        let model = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(6);
+        tau.pin(NodeId(2), Value(1));
+        let inst = Instance::new(model, tau).unwrap();
+        let oracle = boosted_saw(1.0);
+        let jvv = LocalJvv::new(&oracle, 0.05);
+        for seed in 0..10 {
+            let net = Network::new(inst.clone(), seed);
+            let out = jvv.run_detailed(&net, &ordering::identity(net.instance().model().graph()));
+            assert_eq!(out.run.outputs[2], Value(1));
+            assert_eq!(out.run.outputs[1], Value(0));
+            assert_eq!(out.run.outputs[3], Value(0));
+        }
+    }
+
+    #[test]
+    fn local_version_reports_rounds_and_success() {
+        let g = generators::cycle(10);
+        let model = hardcore::model(&g, 1.0);
+        let net = Network::new(Instance::unconditioned(model), 1);
+        let oracle = boosted_saw(1.0);
+        let (run, schedule, stats) = sample_exact_local(&net, &oracle, 0.05, 0);
+        assert!(run.rounds > 0);
+        assert_eq!(run.rounds, schedule.rounds);
+        assert!(stats.locality > 0);
+    }
+
+    #[test]
+    fn colorings_jvv_produces_proper_colorings() {
+        let g = generators::cycle(6);
+        let model = coloring::model(&g, 3);
+        let base = EnumerationOracle::new(DecayRate::new(0.4, 2.0));
+        let oracle = BoostedOracle::new(base);
+        let jvv = LocalJvv::new(&oracle, 0.05);
+        for seed in 0..5 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let out = jvv.run_detailed(&net, &ordering::identity(&g));
+            let y = Config::from_values(out.run.outputs);
+            assert!(coloring::is_proper(&g, &y), "seed {seed}");
+        }
+    }
+
+    use lds_gibbs::PartialConfig;
+}

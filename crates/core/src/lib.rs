@@ -1,0 +1,55 @@
+//! The paper's primary contribution: local distributed sampling and
+//! counting algorithms and the reductions between them.
+//!
+//! Feng & Yin, *On Local Distributed Sampling and Counting* (PODC 2018)
+//! prove, for self-reducible classes of instances in the LOCAL model:
+//!
+//! | Paper result | Module |
+//! |---|---|
+//! | Approximate inference as a LOCAL algorithm (and Prop. 3.3 derandomization) | [`inference`] |
+//! | Theorem 3.2: inference ⟹ approximate sampling (SLOCAL sequential sampler + Lemma 3.1) | [`sampler`] |
+//! | Theorem 3.4: sampling ⟹ inference | [`sampling_to_inference`] |
+//! | Theorem 4.2 / Prop. 4.3: the distributed JVV exact sampler (local rejection sampling) | [`jvv`] |
+//! | Theorem 5.1: inference ⟺ strong spatial mixing | [`ssm_inference`] |
+//! | Corollary 5.3: per-model exact samplers (matchings, hardcore, colorings, 2-spin, hypergraph matchings) | [`apps`] |
+//! | Chain-rule counting from inference (the "counting" of the title) | [`counting`] |
+//! | Round-complexity formulas for the applications | [`complexity`] |
+//! | Baselines: global chain-rule sampling, Glauber dynamics | [`baselines`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lds_core::sampler::SequentialSampler;
+//! use lds_gibbs::models::hardcore;
+//! use lds_gibbs::models::two_spin::TwoSpinParams;
+//! use lds_gibbs::PartialConfig;
+//! use lds_graph::generators;
+//! use lds_localnet::{scheduler, Instance, Network};
+//! use lds_oracle::{DecayRate, TwoSpinSawOracle};
+//!
+//! let g = generators::cycle(12);
+//! let inst = Instance::unconditioned(hardcore::model(&g, 1.0));
+//! let net = Network::new(inst, 7);
+//! let oracle = TwoSpinSawOracle::new(
+//!     TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
+//! let sampler = SequentialSampler::new(&oracle, 0.05);
+//! let (run, _schedule) = scheduler::run_slocal_in_local(&net, &sampler, 0);
+//! assert_eq!(run.outputs.len(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod baselines;
+pub mod counting;
+pub mod complexity;
+pub mod inference;
+pub mod jvv;
+pub mod sampler;
+pub mod sampling_to_inference;
+pub mod ssm_inference;
+
+pub use inference::LocalInference;
+pub use jvv::{JvvOutcome, JvvStats, LocalJvv};
+pub use sampler::SequentialSampler;

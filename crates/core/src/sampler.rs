@@ -1,0 +1,241 @@
+//! Approximate sampling from approximate inference (paper, Theorem 3.2).
+//!
+//! The reduction is the classic chain-rule sampler made local: an SLOCAL
+//! algorithm scans the nodes in an arbitrary order; at each free node
+//! `v_i` it queries the inference oracle for the conditional marginal
+//! `μ̂^{τ ∧ σ_{i-1}}_{v_i}` (error `δ/n`) and samples `σ(v_i)` from it
+//! with `v_i`'s private randomness. A coupling argument gives
+//! `d_TV(μ̂, μ^τ) ≤ δ` for the output distribution `μ̂`.
+//!
+//! The LOCAL version follows by the SLOCAL→LOCAL transformation
+//! (Lemma 3.1, [`lds_localnet::scheduler`]): time complexity
+//! `O(t(n, δ/n) · log² n)`.
+
+use lds_gibbs::{distribution, Value};
+use lds_graph::NodeId;
+use lds_localnet::local::LocalRun;
+use lds_localnet::scheduler::{self, ChromaticSchedule};
+use lds_localnet::slocal::{SlocalAlgorithm, SlocalRun};
+use lds_localnet::Network;
+use lds_oracle::InferenceOracle;
+
+/// Randomness stream tag for the sequential sampler (distinct streams
+/// decorrelate passes that share the network seed).
+pub const STREAM_SEQ_SAMPLER: u64 = 1;
+
+/// The Theorem 3.2 sequential sampler as an SLOCAL algorithm.
+///
+/// Output: each node's sampled value `Y_v ∈ Σ`; the sampler itself never
+/// fails (failures only enter through the LOCAL transformation).
+#[derive(Clone, Debug)]
+pub struct SequentialSampler<'a, O> {
+    oracle: &'a O,
+    delta: f64,
+}
+
+impl<'a, O: InferenceOracle> SequentialSampler<'a, O> {
+    /// Creates the sampler with output total-variation error `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δ ≤ 0`.
+    pub fn new(oracle: &'a O, delta: f64) -> Self {
+        assert!(delta > 0.0, "error target must be positive");
+        SequentialSampler { oracle, delta }
+    }
+
+    /// The per-node inference error `δ/n` the oracle is queried with.
+    pub fn per_node_delta(&self, n: usize) -> f64 {
+        self.delta / n.max(1) as f64
+    }
+
+    /// The output error target `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl<O: InferenceOracle> SlocalAlgorithm for SequentialSampler<'_, O> {
+    type Output = Value;
+
+    fn locality(&self, n: usize) -> usize {
+        self.oracle.radius(n, self.per_node_delta(n)) + 1
+    }
+
+    fn run_sequential(&self, net: &Network, order: &[NodeId]) -> SlocalRun<Value> {
+        let model = net.instance().model();
+        let n = model.node_count();
+        let t = self.oracle.radius(n, self.per_node_delta(n));
+        let mut sigma = net.instance().pinning().clone();
+        for &v in order {
+            if sigma.is_pinned(v) {
+                continue;
+            }
+            let mu = self.oracle.marginal(model, &sigma, v, t);
+            let mut rng = net.node_rng(v, STREAM_SEQ_SAMPLER);
+            let val = distribution::sample_from_marginal(&mu, &mut rng);
+            sigma.pin(v, val);
+        }
+        let outputs: Vec<Value> = (0..n)
+            .map(|i| sigma.get(NodeId::from_index(i)).expect("all pinned"))
+            .collect();
+        SlocalRun {
+            outputs,
+            failures: vec![false; n],
+        }
+    }
+}
+
+/// Runs the Theorem 3.2 sampler in the LOCAL model: sequential sampler
+/// composed with the Lemma 3.1 transformation. Conditioned on no failure
+/// the output follows `μ̂_{I,π}` with `d_TV(μ̂, μ^τ) ≤ δ` for the
+/// schedule's ordering `π`.
+pub fn sample_local<O: InferenceOracle>(
+    net: &Network,
+    oracle: &O,
+    delta: f64,
+    stream: u64,
+) -> (LocalRun<Value>, ChromaticSchedule) {
+    let sampler = SequentialSampler::new(oracle, delta);
+    scheduler::run_slocal_in_local(net, &sampler, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::models::two_spin::TwoSpinParams;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_gibbs::{metrics, Config, PartialConfig};
+    use lds_graph::{generators, ordering};
+    use lds_localnet::Instance;
+    use lds_oracle::{DecayRate, EnumerationOracle, TwoSpinSawOracle};
+
+    fn hc_net(n: usize, lambda: f64, seed: u64) -> Network {
+        let g = generators::cycle(n);
+        Network::new(
+            Instance::unconditioned(hardcore::model(&g, lambda)),
+            seed,
+        )
+    }
+
+    fn saw(lambda: f64) -> TwoSpinSawOracle {
+        TwoSpinSawOracle::new(TwoSpinParams::hardcore(lambda), DecayRate::new(0.5, 2.0))
+    }
+
+    #[test]
+    fn outputs_are_independent_sets() {
+        let oracle = saw(1.5);
+        for seed in 0..20 {
+            let net = hc_net(9, 1.5, seed);
+            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let order = ordering::identity(net.instance().model().graph());
+            let run = sampler.run_sequential(&net, &order);
+            let config = Config::from_values(run.outputs.clone());
+            assert!(
+                net.instance().model().weight(&config) > 0.0,
+                "seed {seed} produced an infeasible configuration"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_close_to_target() {
+        // small cycle: compare empirical joint distribution to exact
+        let n = 5usize;
+        let g = generators::cycle(n);
+        let model = hardcore::model(&g, 1.0);
+        let oracle = saw(1.0);
+        let trials = 40_000usize;
+        let mut samples = Vec::with_capacity(trials);
+        for seed in 0..trials as u64 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let sampler = SequentialSampler::new(&oracle, 0.02);
+            let order = ordering::identity(&g);
+            let run = sampler.run_sequential(&net, &order);
+            samples.push(Config::from_values(run.outputs));
+        }
+        let emp = metrics::empirical_distribution(&samples);
+        let exact =
+            distribution::joint_distribution(&model, &PartialConfig::empty(n)).unwrap();
+        let tv = metrics::tv_distance_joint(&emp, &exact);
+        // sampling noise ~ sqrt(#configs / trials) ≈ 0.02
+        assert!(tv < 0.05, "empirical TV {tv}");
+    }
+
+    #[test]
+    fn honors_pinning() {
+        let g = generators::cycle(8);
+        let model = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(8);
+        tau.pin(NodeId(0), Value(1));
+        let inst = Instance::new(model, tau).unwrap();
+        let oracle = saw(1.0);
+        for seed in 0..10 {
+            let net = Network::new(inst.clone(), seed);
+            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let run = sampler.run_sequential(&net, &ordering::identity(net.instance().model().graph()));
+            assert_eq!(run.outputs[0], Value(1));
+            assert_eq!(run.outputs[1], Value(0), "neighbor of pinned-occupied");
+        }
+    }
+
+    #[test]
+    fn local_version_succeeds_and_matches_feasibility() {
+        let net = hc_net(12, 1.0, 3);
+        let oracle = saw(1.0);
+        let (run, schedule) = sample_local(&net, &oracle, 0.1, 0);
+        assert!(run.succeeded(), "decomposition failed unexpectedly");
+        assert!(schedule.rounds > 0);
+        let config = Config::from_values(run.outputs);
+        assert!(net.instance().model().weight(&config) > 0.0);
+    }
+
+    #[test]
+    fn colorings_with_enumeration_oracle() {
+        let g = generators::cycle(7);
+        let model = coloring::model(&g, 3);
+        let oracle = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        for seed in 0..10 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let run = sampler.run_sequential(&net, &ordering::identity(&g));
+            let config = Config::from_values(run.outputs);
+            assert!(
+                coloring::is_proper(&g, &config),
+                "seed {seed}: improper coloring"
+            );
+        }
+    }
+
+    #[test]
+    fn different_orders_same_target_distribution() {
+        // marginal frequencies should agree across scan orders
+        let g = generators::cycle(6);
+        let model = hardcore::model(&g, 1.0);
+        let oracle = saw(1.0);
+        let trials = 20_000usize;
+        let mut occ_id = 0usize;
+        let mut occ_rev = 0usize;
+        for seed in 0..trials as u64 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let sampler = SequentialSampler::new(&oracle, 0.02);
+            let a = sampler.run_sequential(&net, &ordering::identity(&g));
+            if a.outputs[3] == Value(1) {
+                occ_id += 1;
+            }
+            let net2 = Network::new(
+                Instance::unconditioned(model.clone()),
+                seed + 1_000_000,
+            );
+            let b = sampler.run_sequential(&net2, &ordering::reverse(&g));
+            if b.outputs[3] == Value(1) {
+                occ_rev += 1;
+            }
+        }
+        let f1 = occ_id as f64 / trials as f64;
+        let f2 = occ_rev as f64 / trials as f64;
+        assert!((f1 - f2).abs() < 0.02, "order changed marginals: {f1} vs {f2}");
+    }
+
+    use lds_gibbs::distribution;
+}

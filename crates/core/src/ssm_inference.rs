@@ -1,0 +1,141 @@
+//! Strong spatial mixing ⟺ approximate inference (paper, Theorem 5.1).
+//!
+//! **Direction 1 (inference ⟹ SSM).** If a deterministic LOCAL inference
+//! algorithm has complexity `t(n, δ)`, then for any two feasible pinnings
+//! `σ, τ` differing only at distance `≥ t+1` from `v`, the algorithm
+//! cannot distinguish the instances at `v`, so
+//! `d_TV(μ^σ_v, μ^τ_v) ≤ 2·min{δ : t(n, δ) ≤ t − 1}` — the class
+//! exhibits SSM with rate `δ_n(t) = 2·min{δ : t(n,δ) ≤ t−1}`.
+//! [`implied_ssm_rate`] computes this for decay-planned oracles and
+//! [`verify_indistinguishability`] checks the mechanism itself.
+//!
+//! **Direction 2 (SSM ⟹ inference).** Given SSM with rate `δ_n(·)` and a
+//! locally admissible local Gibbs distribution, the enumeration oracle
+//! ([`lds_oracle::EnumerationOracle`]) *is* the paper's algorithm:
+//! radius `t(n, δ) = min{t : δ_n(t) ≤ δ} + O(1)`.
+//! [`inference_from_ssm`] packages it.
+
+use lds_gibbs::{GibbsModel, PartialConfig};
+use lds_graph::NodeId;
+use lds_oracle::{DecayRate, EnumerationOracle, InferenceOracle};
+
+/// Direction 1 quantitatively: an oracle with radius planning
+/// `t(n, δ) = ⌈log_{1/α}(c/δ)⌉` implies SSM with rate
+/// `δ_n(t) = 2·c·α^{t−1}` (the smallest `δ` the radius-`t−1` algorithm
+/// can promise, doubled by the triangle inequality).
+pub fn implied_ssm_rate(oracle_rate: DecayRate) -> DecayRate {
+    DecayRate::new(
+        oracle_rate.alpha(),
+        2.0 * oracle_rate.constant() / oracle_rate.alpha(),
+    )
+}
+
+/// Direction 2: the SSM-based inference algorithm (Theorem 5.1's
+/// construction) for a class with mixing rate `rate`.
+pub fn inference_from_ssm(rate: DecayRate) -> EnumerationOracle {
+    EnumerationOracle::new(rate)
+}
+
+/// The indistinguishability mechanism behind Direction 1: two pinnings
+/// that agree on `B_t(v)` must produce identical outputs at `v` for any
+/// radius-`t` local oracle. Returns the maximum absolute difference of
+/// the two outputs (0 for honest local algorithms).
+pub fn verify_indistinguishability<O: InferenceOracle>(
+    oracle: &O,
+    model: &GibbsModel,
+    sigma: &PartialConfig,
+    tau: &PartialConfig,
+    v: NodeId,
+    t: usize,
+) -> f64 {
+    let a = oracle.marginal(model, sigma, v, t);
+    let b = oracle.marginal(model, tau, v, t);
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::models::hardcore;
+    use lds_gibbs::models::two_spin::TwoSpinParams;
+    use lds_gibbs::{distribution, metrics, Value};
+    use lds_graph::{generators, traversal};
+    use lds_oracle::TwoSpinSawOracle;
+
+    #[test]
+    fn implied_rate_is_weaker_by_the_triangle_inequality() {
+        let oracle_rate = DecayRate::new(0.5, 2.0);
+        let ssm = implied_ssm_rate(oracle_rate);
+        assert_eq!(ssm.alpha(), 0.5);
+        // δ_n(t) = 2·c·α^{t-1} = (2c/α)·α^t
+        assert!((ssm.constant() - 8.0).abs() < 1e-12);
+        assert!(ssm.error_at(3) > oracle_rate.error_at(3));
+    }
+
+    #[test]
+    fn local_oracles_cannot_see_far_disagreements() {
+        let g = generators::cycle(16);
+        let m = hardcore::model(&g, 1.2);
+        // two pinnings differing only at node 8, far from node 0
+        let mut sigma = PartialConfig::empty(16);
+        sigma.pin(NodeId(8), Value(0));
+        let mut tau = PartialConfig::empty(16);
+        tau.pin(NodeId(8), Value(1));
+        let d = traversal::bfs_distances(&g, NodeId(0))[8] as usize;
+        let t = d - 1; // strictly less than the distance
+        let saw = TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(1.2),
+            DecayRate::new(0.5, 2.0),
+        );
+        let diff = verify_indistinguishability(&saw, &m, &sigma, &tau, NodeId(0), t);
+        assert_eq!(diff, 0.0, "radius-{t} oracle distinguished distance-{d} pins");
+        let enumo = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        // enumeration oracle peeks t + ℓ; stay one step shorter
+        let diff2 =
+            verify_indistinguishability(&enumo, &m, &sigma, &tau, NodeId(0), t - 1);
+        assert_eq!(diff2, 0.0);
+    }
+
+    #[test]
+    fn ssm_implies_inference_with_planned_radius() {
+        // direction 2 end-to-end: enumeration oracle with the model's
+        // measured rate achieves the requested error
+        let g = generators::cycle(14);
+        let m = hardcore::model(&g, 1.0);
+        let tau = PartialConfig::empty(14);
+        // hardcore on a cycle mixes at rate ≤ λ/(1+λ)² ≈ 0.25; use 0.5
+        let oracle = inference_from_ssm(DecayRate::new(0.5, 2.0));
+        for delta in [0.2, 0.05, 0.01] {
+            let t = oracle.radius(14, delta);
+            let est = oracle.marginal(&m, &tau, NodeId(3), t);
+            let exact = distribution::marginal(&m, &tau, NodeId(3)).unwrap();
+            let err = metrics::tv_distance(&exact, &est);
+            assert!(err <= delta, "δ={delta}: err {err} at radius {t}");
+        }
+    }
+
+    #[test]
+    fn ssm_bound_is_respected_empirically() {
+        // the SSM inequality itself: dTV(μ^σ_v, μ^τ_v) ≤ δ_n(dist)
+        let g = generators::cycle(12);
+        let m = hardcore::model(&g, 1.0);
+        let rate = DecayRate::new(0.5, 2.0);
+        for d in 2..6usize {
+            let mut sigma = PartialConfig::empty(12);
+            sigma.pin(NodeId::from_index(d), Value(0));
+            let mut tau = PartialConfig::empty(12);
+            tau.pin(NodeId::from_index(d), Value(1));
+            let mu_s = distribution::marginal(&m, &sigma, NodeId(0)).unwrap();
+            let mu_t = distribution::marginal(&m, &tau, NodeId(0)).unwrap();
+            let tv = metrics::tv_distance(&mu_s, &mu_t);
+            assert!(
+                tv <= rate.error_at(d),
+                "distance {d}: tv {tv} > bound {}",
+                rate.error_at(d)
+            );
+        }
+    }
+}

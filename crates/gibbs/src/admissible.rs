@@ -1,0 +1,150 @@
+//! The *locally admissible* property (paper, Definition 2.5).
+//!
+//! A Gibbs distribution is locally admissible when every **locally
+//! feasible** pinning (one violating no fully-pinned constraint) is also
+//! **feasible** (extensible to a positive-weight full configuration). For
+//! such models, constructing a feasible solution is trivial for a
+//! sequential local oblivious procedure (Remark 2.3) — the property `(⋆⋆)`
+//! that Theorem 5.1 requires.
+//!
+//! Exhaustive verification is exponential; it is intended for the small
+//! instances used in tests and experiment sanity checks.
+
+use lds_graph::NodeId;
+
+use crate::{distribution, GibbsModel, PartialConfig, Value};
+
+/// Exhaustively checks local admissibility: for **every** subset `Λ ⊆ V`
+/// and **every** `σ ∈ Σ^Λ`, local feasibility implies feasibility.
+///
+/// Runs in time `O((q+1)^n ·` cost of a feasibility check`)`; use only on
+/// small models.
+///
+/// Returns the first counterexample (a locally feasible but infeasible
+/// pinning) or `None` if the model is locally admissible.
+pub fn find_inadmissible_pinning(model: &GibbsModel) -> Option<PartialConfig> {
+    let n = model.node_count();
+    let q = model.alphabet_size();
+    // iterate over all (q+1)^n partial configurations via mixed-radix count
+    let mut digits = vec![0usize; n]; // 0 = unpinned, 1..=q = Value(d-1)
+    loop {
+        let mut p = PartialConfig::empty(n);
+        for (i, &d) in digits.iter().enumerate() {
+            if d > 0 {
+                p.pin(NodeId::from_index(i), Value::from_index(d - 1));
+            }
+        }
+        if model.is_locally_feasible(&p) && !distribution::is_feasible(model, &p) {
+            return Some(p);
+        }
+        // increment mixed-radix counter
+        let mut i = 0;
+        loop {
+            if i == n {
+                return None;
+            }
+            digits[i] += 1;
+            if digits[i] <= q {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Returns `true` if the model is locally admissible (exhaustive check;
+/// exponential time — small models only).
+pub fn is_locally_admissible(model: &GibbsModel) -> bool {
+    find_inadmissible_pinning(model).is_none()
+}
+
+/// Greedily extends `pinning` to a full locally feasible configuration by
+/// scanning free nodes in id order and choosing, at each node, a value
+/// that keeps the partial configuration locally feasible.
+///
+/// For locally admissible models this always succeeds from a feasible
+/// pinning (this is the "sequential local oblivious" construction of
+/// Remark 2.3); for general models it may fail, returning `None`.
+pub fn greedy_feasible_extension(
+    model: &GibbsModel,
+    pinning: &PartialConfig,
+) -> Option<PartialConfig> {
+    let mut current = pinning.clone();
+    if !model.is_locally_feasible(&current) {
+        return None;
+    }
+    let free: Vec<NodeId> = current.free_nodes().collect();
+    for v in free {
+        let mut placed = false;
+        for val in (0..model.alphabet_size()).map(Value::from_index) {
+            let candidate = current.with_pin(v, val);
+            if model.is_locally_feasible(&candidate) {
+                current = candidate;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{coloring, hardcore};
+    use lds_graph::generators;
+
+    #[test]
+    fn hardcore_is_locally_admissible() {
+        let g = generators::cycle(4);
+        let m = hardcore::model(&g, 1.0);
+        assert!(is_locally_admissible(&m));
+    }
+
+    #[test]
+    fn colorings_with_enough_colors_are_admissible() {
+        // (Δ+1)-coloring of a cycle: Δ = 2, q = 3
+        let g = generators::cycle(4);
+        let m = coloring::model(&g, 3);
+        assert!(is_locally_admissible(&m));
+    }
+
+    #[test]
+    fn two_coloring_of_even_cycle_is_not_admissible() {
+        // proper 2-colorings of C4 exist, but pinning opposite corners
+        // with the same color is locally feasible yet infeasible.
+        let g = generators::cycle(4);
+        let m = coloring::model(&g, 2);
+        let bad = find_inadmissible_pinning(&m);
+        assert!(bad.is_some());
+        let bad = bad.unwrap();
+        assert!(m.is_locally_feasible(&bad));
+        assert!(!distribution::is_feasible(&m, &bad));
+    }
+
+    #[test]
+    fn greedy_extension_works_for_admissible_models() {
+        let g = generators::cycle(5);
+        let m = hardcore::model(&g, 2.0);
+        let mut p = PartialConfig::empty(5);
+        p.pin(NodeId(0), Value(1));
+        let full = greedy_feasible_extension(&m, &p).unwrap();
+        assert!(full.is_complete());
+        assert!(m.weight(&full.to_config()) > 0.0);
+        assert_eq!(full.get(NodeId(0)), Some(Value(1)));
+    }
+
+    #[test]
+    fn greedy_extension_fails_on_locally_infeasible_pinning() {
+        let g = generators::path(2);
+        let m = hardcore::model(&g, 1.0);
+        let mut p = PartialConfig::empty(2);
+        p.pin(NodeId(0), Value(1));
+        p.pin(NodeId(1), Value(1));
+        assert!(greedy_feasible_extension(&m, &p).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The spatial Markov property of Gibbs distributions
+//! (paper, Proposition 2.1).
+//!
+//! Let `H = (V, F)` be the constraint hypergraph with a hyperedge per
+//! factor scope. If `C` separates `A` from `B` in `H`, then `Y_A ⫫ Y_B`
+//! given any feasible pinning of `C`. This property is what makes the
+//! paper's *local self-reductions* (Section 4) sound: marginals inside a
+//! ball are fully determined once the ball's frontier is pinned.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use lds_graph::{Hypergraph, NodeId};
+
+use crate::{distribution, GibbsModel, PartialConfig, Value};
+
+/// The constraint hypergraph of the model: one hyperedge per factor scope.
+pub fn constraint_hypergraph(model: &GibbsModel) -> Hypergraph {
+    Hypergraph::new(
+        model.node_count(),
+        model.factors().iter().map(|f| f.scope().to_vec()).collect(),
+    )
+}
+
+/// Returns `true` if removing `C` disconnects every node of `A` from every
+/// node of `B` in the constraint hypergraph (vertices are connected when
+/// they share a hyperedge).
+pub fn is_separator(model: &GibbsModel, a: &[NodeId], b: &[NodeId], c: &[NodeId]) -> bool {
+    let blocked: HashSet<NodeId> = c.iter().copied().collect();
+    let bset: HashSet<NodeId> = b.iter().copied().collect();
+    // BFS over the clique expansion of the hypergraph, skipping C
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &s in a {
+        if blocked.contains(&s) {
+            continue;
+        }
+        if seen.insert(s) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if bset.contains(&v) {
+            return false;
+        }
+        for &fi in model.factors_touching(v) {
+            for &w in model.factors()[fi].scope() {
+                if !blocked.contains(&w) && seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Measures the worst violation of conditional independence
+/// `Pr[Y_A = σ_A ∧ Y_B = σ_B | Y_C = σ_C] =
+///  Pr[Y_A = σ_A | Y_C] · Pr[Y_B = σ_B | Y_C]`
+/// over all value assignments to `A` and `B`, given the pinning `sigma_c`
+/// on `C`. Exact (by enumeration); small models only.
+///
+/// Returns the maximum absolute difference between the two sides, or
+/// `None` if `sigma_c` is infeasible.
+///
+/// # Panics
+///
+/// Panics if `A`, `B` overlap each other or `C`.
+pub fn conditional_independence_violation(
+    model: &GibbsModel,
+    a: &[NodeId],
+    b: &[NodeId],
+    sigma_c: &PartialConfig,
+) -> Option<f64> {
+    let aset: HashSet<NodeId> = a.iter().copied().collect();
+    assert!(b.iter().all(|v| !aset.contains(v)), "A and B overlap");
+    assert!(
+        a.iter().chain(b.iter()).all(|&v| !sigma_c.is_pinned(v)),
+        "A/B overlap the pinned separator"
+    );
+    if !distribution::is_feasible(model, sigma_c) {
+        return None;
+    }
+    let q = model.alphabet_size();
+    let mut worst = 0.0f64;
+    let mut assignment_a = vec![Value(0); a.len()];
+    let mut assignment_b = vec![Value(0); b.len()];
+    // enumerate assignments to A and B by mixed-radix counters
+    loop {
+        loop {
+            let p_ab = conditional_prob(model, sigma_c, a, &assignment_a, b, &assignment_b);
+            let p_a = conditional_prob(model, sigma_c, a, &assignment_a, &[], &[]);
+            let p_b = conditional_prob(model, sigma_c, b, &assignment_b, &[], &[]);
+            worst = worst.max((p_ab - p_a * p_b).abs());
+            if !increment(&mut assignment_b, q) {
+                break;
+            }
+        }
+        if !increment(&mut assignment_a, q) {
+            break;
+        }
+    }
+    Some(worst)
+}
+
+fn increment(values: &mut [Value], q: usize) -> bool {
+    for v in values.iter_mut() {
+        if v.index() + 1 < q {
+            *v = Value::from_index(v.index() + 1);
+            return true;
+        }
+        *v = Value(0);
+    }
+    false
+}
+
+fn conditional_prob(
+    model: &GibbsModel,
+    base: &PartialConfig,
+    s1: &[NodeId],
+    v1: &[Value],
+    s2: &[NodeId],
+    v2: &[Value],
+) -> f64 {
+    let mut pinned = base.clone();
+    for (&s, &v) in s1.iter().zip(v1) {
+        pinned.pin(s, v);
+    }
+    for (&s, &v) in s2.iter().zip(v2) {
+        pinned.pin(s, v);
+    }
+    let z_cond = distribution::partition_function(model, &pinned);
+    let z_base = distribution::partition_function(model, base);
+    if z_base == 0.0 {
+        0.0
+    } else {
+        z_cond / z_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::hardcore;
+    use lds_graph::generators;
+
+    #[test]
+    fn hypergraph_mirrors_factor_scopes() {
+        let g = generators::path(3);
+        let m = hardcore::model(&g, 1.0);
+        let h = constraint_hypergraph(&m);
+        // 2 edge factors + 3 vertex factors
+        assert_eq!(h.edge_count(), 5);
+        assert_eq!(h.node_count(), 3);
+    }
+
+    #[test]
+    fn middle_of_path_separates_ends() {
+        let g = generators::path(3);
+        let m = hardcore::model(&g, 1.0);
+        assert!(is_separator(&m, &[NodeId(0)], &[NodeId(2)], &[NodeId(1)]));
+        assert!(!is_separator(&m, &[NodeId(0)], &[NodeId(2)], &[]));
+    }
+
+    #[test]
+    fn cycle_needs_two_cut_nodes() {
+        let g = generators::cycle(6);
+        let m = hardcore::model(&g, 1.0);
+        assert!(!is_separator(&m, &[NodeId(0)], &[NodeId(3)], &[NodeId(1)]));
+        assert!(is_separator(
+            &m,
+            &[NodeId(0)],
+            &[NodeId(3)],
+            &[NodeId(1), NodeId(5)]
+        ));
+    }
+
+    #[test]
+    fn conditional_independence_holds_across_separator() {
+        // path 0-1-2-3-4, C = {2} separates {0,1} from {3,4}
+        let g = generators::path(5);
+        let m = hardcore::model(&g, 1.3);
+        for val in [Value(0), Value(1)] {
+            let mut c = PartialConfig::empty(5);
+            c.pin(NodeId(2), val);
+            let viol = conditional_independence_violation(
+                &m,
+                &[NodeId(0), NodeId(1)],
+                &[NodeId(3), NodeId(4)],
+                &c,
+            )
+            .unwrap();
+            assert!(viol < 1e-12, "violation {viol} for separator value {val:?}");
+        }
+    }
+
+    #[test]
+    fn dependence_without_separator_is_detected() {
+        // path 0-1-2 with nothing pinned: ends are correlated through the middle
+        let g = generators::path(3);
+        let m = hardcore::model(&g, 5.0);
+        let c = PartialConfig::empty(3);
+        let viol =
+            conditional_independence_violation(&m, &[NodeId(0)], &[NodeId(2)], &c).unwrap();
+        assert!(viol > 1e-3, "expected correlation, got {viol}");
+    }
+
+    #[test]
+    fn infeasible_separator_pinning_returns_none() {
+        let g = generators::path(3);
+        let m = hardcore::model(&g, 1.0);
+        let mut c = PartialConfig::empty(3);
+        c.pin(NodeId(1), Value(1));
+        // pin neighbor 0 occupied too -> infeasible base
+        c.pin(NodeId(0), Value(1));
+        assert!(
+            conditional_independence_violation(&m, &[], &[NodeId(2)], &c).is_none()
+        );
+    }
+}

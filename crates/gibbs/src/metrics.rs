@@ -1,0 +1,163 @@
+//! Distance measures between distributions.
+//!
+//! * [`tv_distance`] — total variation distance
+//!   `d_TV(μ, ν) = ½‖μ − ν‖₁` (paper, Section 2).
+//! * [`multiplicative_err`] — the multiplicative error function
+//!   `err(μ, μ̂) = max_x |ln μ(x) − ln μ̂(x)|` with the paper's conventions
+//!   `0/0 = 1` and `ln(0/0) = 0` (paper, eq. (2)).
+
+use std::collections::HashMap;
+
+use crate::Config;
+
+/// Total variation distance between two probability vectors over the same
+/// alphabet.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn tv_distance(mu: &[f64], nu: &[f64]) -> f64 {
+    assert_eq!(mu.len(), nu.len(), "distributions over different alphabets");
+    0.5 * mu
+        .iter()
+        .zip(nu.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// The multiplicative error `err(μ, μ̂) = max_x |ln μ(x) − ln μ̂(x)|`
+/// (paper, eq. (2)).
+///
+/// Conventions follow the paper: if both entries are zero the term
+/// contributes zero; if exactly one is zero the error is `+∞`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn multiplicative_err(mu: &[f64], hat: &[f64]) -> f64 {
+    assert_eq!(mu.len(), hat.len(), "distributions over different alphabets");
+    let mut worst = 0.0f64;
+    for (&a, &b) in mu.iter().zip(hat.iter()) {
+        let e = if a == 0.0 && b == 0.0 {
+            0.0
+        } else if a == 0.0 || b == 0.0 {
+            f64::INFINITY
+        } else {
+            (a.ln() - b.ln()).abs()
+        };
+        worst = worst.max(e);
+    }
+    worst
+}
+
+/// Total variation distance between two joint distributions given as
+/// `(configuration, probability)` lists (missing configurations count as
+/// probability zero).
+pub fn tv_distance_joint(mu: &[(Config, f64)], nu: &[(Config, f64)]) -> f64 {
+    let mut diff: HashMap<Vec<crate::Value>, f64> = HashMap::new();
+    for (c, p) in mu {
+        *diff.entry(c.values().to_vec()).or_insert(0.0) += p;
+    }
+    for (c, p) in nu {
+        *diff.entry(c.values().to_vec()).or_insert(0.0) -= p;
+    }
+    0.5 * diff.values().map(|d| d.abs()).sum::<f64>()
+}
+
+/// Normalizes a nonnegative vector into a probability vector in place.
+///
+/// # Panics
+///
+/// Panics if the total mass is not positive.
+pub fn normalize(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "cannot normalize zero mass");
+    for x in v {
+        *x /= total;
+    }
+}
+
+/// Builds an empirical distribution over configurations from samples.
+pub fn empirical_distribution(samples: &[Config]) -> Vec<(Config, f64)> {
+    let mut counts: HashMap<Vec<crate::Value>, usize> = HashMap::new();
+    for s in samples {
+        *counts.entry(s.values().to_vec()).or_insert(0) += 1;
+    }
+    let n = samples.len() as f64;
+    counts
+        .into_iter()
+        .map(|(vals, c)| (Config::from_values(vals), c as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn tv_of_identical_is_zero() {
+        let p = vec![0.3, 0.7];
+        assert_eq!(tv_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn tv_of_disjoint_is_one() {
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tv_simple_value() {
+        assert!((tv_distance(&[0.5, 0.5], &[0.25, 0.75]) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiplicative_err_conventions() {
+        // 0/0 contributes nothing
+        assert_eq!(multiplicative_err(&[0.0, 1.0], &[0.0, 1.0]), 0.0);
+        // single-sided zero is infinite
+        assert_eq!(multiplicative_err(&[0.0, 1.0], &[0.5, 0.5]), f64::INFINITY);
+        // symmetric ratio bound
+        let e = multiplicative_err(&[0.5, 0.5], &[0.25, 0.75]);
+        assert!((e - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_tv_handles_missing_configs() {
+        let a = vec![(Config::from_values(vec![Value(0)]), 1.0)];
+        let b = vec![(Config::from_values(vec![Value(1)]), 1.0)];
+        assert!((tv_distance_joint(&a, &b) - 1.0).abs() < 1e-15);
+        assert_eq!(tv_distance_joint(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let samples = vec![
+            Config::from_values(vec![Value(0)]),
+            Config::from_values(vec![Value(0)]),
+            Config::from_values(vec![Value(1)]),
+            Config::from_values(vec![Value(0)]),
+        ];
+        let emp = empirical_distribution(&samples);
+        let p0 = emp
+            .iter()
+            .find(|(c, _)| c.get(lds_graph::NodeId(0)) == Value(0))
+            .unwrap()
+            .1;
+        assert!((p0 - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut v = vec![1.0, 3.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mass")]
+    fn normalize_rejects_zero() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's application models (Corollary 5.3).
+//!
+//! Every family here is a **local Gibbs distribution** (factor scopes are
+//! vertices or edges, so locality `ℓ ≤ 1` on the model's carrier graph):
+//!
+//! * [`hardcore`] — weighted independent sets with fugacity `λ`; the
+//!   model of the paper's headline computational phase transition at
+//!   `λ_c(Δ) = (Δ−1)^{Δ−1}/(Δ−2)^Δ`.
+//! * [`ising`] — the Ising model with edge interaction `β` and external
+//!   field `h` (antiferromagnetic for `β < 0`).
+//! * [`two_spin`] — general two-spin systems `(β, γ, λ)` subsuming both.
+//! * [`coloring`] — proper `q`-colorings and list-colorings.
+//! * [`matching`] — monomer–dimer (weighted matchings) via the line-graph
+//!   duality: matchings of `G` are independent sets of `L(G)`.
+//! * [`hypergraph_matching`] — weighted hypergraph matchings via the
+//!   intersection-graph duality.
+
+pub mod coloring;
+pub mod hardcore;
+pub mod hypergraph_matching;
+pub mod ising;
+pub mod matching;
+pub mod two_spin;

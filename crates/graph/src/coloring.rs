@@ -1,0 +1,105 @@
+//! Proper vertex colorings used for chromatic scheduling.
+//!
+//! The SLOCAL→LOCAL transformation (paper, Lemma 3.1) simulates an SLOCAL
+//! algorithm color class by color class of a network decomposition's
+//! cluster graph. This module provides the greedy colorings used there and
+//! in tests.
+
+use crate::{Graph, NodeId};
+
+/// Greedy proper coloring scanning nodes in the given order; returns
+/// `color[v]` and uses at most `Δ + 1` colors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the node set.
+pub fn greedy_coloring(g: &Graph, order: &[NodeId]) -> Vec<u32> {
+    assert_eq!(order.len(), g.node_count(), "order must cover all nodes");
+    let mut color = vec![u32::MAX; g.node_count()];
+    let mut used = vec![false; g.max_degree() + 1];
+    for &v in order {
+        assert!(
+            color[v.index()] == u32::MAX,
+            "order visits {v} more than once"
+        );
+        for &w in g.neighbors(v) {
+            let c = color[w.index()];
+            if c != u32::MAX && (c as usize) < used.len() {
+                used[c as usize] = true;
+            }
+        }
+        let c = used.iter().position(|&b| !b).expect("Δ+1 colors suffice") as u32;
+        color[v.index()] = c;
+        for &w in g.neighbors(v) {
+            let cw = color[w.index()];
+            if cw != u32::MAX && (cw as usize) < used.len() {
+                used[cw as usize] = false;
+            }
+        }
+    }
+    color
+}
+
+/// Greedy coloring in id order.
+pub fn greedy_coloring_by_id(g: &Graph) -> Vec<u32> {
+    let order: Vec<NodeId> = g.nodes().collect();
+    greedy_coloring(g, &order)
+}
+
+/// Verifies that `color` is a proper coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, color: &[u32]) -> bool {
+    color.len() == g.node_count()
+        && g.edges()
+            .iter()
+            .all(|e| color[e.u.index()] != color[e.v.index()])
+}
+
+/// Number of distinct colors used.
+pub fn color_count(color: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = color.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_is_proper_on_various_graphs() {
+        for g in [
+            generators::cycle(7),
+            generators::grid(4, 5),
+            generators::complete(5),
+            generators::balanced_tree(3, 3),
+        ] {
+            let c = greedy_coloring_by_id(&g);
+            assert!(is_proper_coloring(&g, &c));
+            assert!(color_count(&c) <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = generators::complete(4);
+        let c = greedy_coloring_by_id(&g);
+        assert_eq!(color_count(&c), 4);
+    }
+
+    #[test]
+    fn even_cycle_uses_two_colors() {
+        let g = generators::cycle(8);
+        let c = greedy_coloring_by_id(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(color_count(&c), 2);
+    }
+
+    #[test]
+    fn improper_coloring_is_detected() {
+        let g = generators::path(3);
+        assert!(!is_proper_coloring(&g, &[0, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1])); // wrong length
+    }
+}

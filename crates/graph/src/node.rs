@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices in `0..n`; they double as the unique IDs the
+/// LOCAL model assumes every node knows (paper, Section 2, "we assume that
+/// `x_v` includes a unique ID for `v`").
+///
+/// # Example
+///
+/// ```
+/// use lds_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = NodeId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(NodeId::from(42u32), v);
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", NodeId(7)), "v7");
+        assert_eq!(format!("{}", NodeId(7)), "v7");
+    }
+}

@@ -1,0 +1,138 @@
+//! Vertex orderings.
+//!
+//! SLOCAL algorithms (paper, Section 3) scan nodes in "an arbitrary
+//! ordering provided by an adversary". These strategies exercise that
+//! adversary in tests and experiments: orderings which are friendly
+//! (identity), generic (random), or adversarial for locality (BFS from a
+//! corner, which maximizes sequential dependency chains).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{traversal, Graph, NodeId};
+
+/// Identity ordering `v_0, v_1, ..., v_{n-1}`.
+pub fn identity(g: &Graph) -> Vec<NodeId> {
+    g.nodes().collect()
+}
+
+/// Uniformly random permutation.
+pub fn random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Vec<NodeId> {
+    let mut order = identity(g);
+    order.shuffle(rng);
+    order
+}
+
+/// Reverse-id ordering.
+pub fn reverse(g: &Graph) -> Vec<NodeId> {
+    let mut order = identity(g);
+    order.reverse();
+    order
+}
+
+/// BFS ordering from `root`, an adversarial order for sequential-locality
+/// arguments: consecutive nodes are adjacent, so naive sequential
+/// simulation incurs chains of dependent reads. Unreached nodes (other
+/// components) are appended in id order.
+pub fn bfs_from(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    let mut order = traversal::ball(g, root, g.node_count());
+    if order.len() < g.node_count() {
+        let mut in_order = vec![false; g.node_count()];
+        for &v in &order {
+            in_order[v.index()] = true;
+        }
+        for v in g.nodes() {
+            if !in_order[v.index()] {
+                order.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Degeneracy ordering (repeatedly remove a minimum-degree vertex); the
+/// returned order lists removals first-to-last. Greedy coloring in
+/// *reverse* degeneracy order uses at most `degeneracy + 1` colors.
+pub fn degeneracy(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(NodeId::from_index(v))).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| (deg[v], v))
+            .expect("nodes remain");
+        removed[v] = true;
+        order.push(NodeId::from_index(v));
+        for &w in g.neighbors(NodeId::from_index(v)) {
+            if !removed[w.index()] {
+                deg[w.index()] -= 1;
+            }
+        }
+    }
+    order
+}
+
+/// Checks that `order` is a permutation of the node set of `g`.
+pub fn is_permutation(g: &Graph, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut seen = vec![false; g.node_count()];
+    for &v in order {
+        if v.index() >= seen.len() || seen[v.index()] {
+            return false;
+        }
+        seen[v.index()] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let g = generators::grid(3, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for order in [
+            identity(&g),
+            reverse(&g),
+            random(&g, &mut rng),
+            bfs_from(&g, NodeId(0)),
+            degeneracy(&g),
+        ] {
+            assert!(is_permutation(&g, &order));
+        }
+    }
+
+    #[test]
+    fn bfs_order_handles_disconnected() {
+        let g = crate::Graph::from_edges(4, [(0, 1)]);
+        let order = bfs_from(&g, NodeId(0));
+        assert!(is_permutation(&g, &order));
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(order[1], NodeId(1));
+    }
+
+    #[test]
+    fn degeneracy_of_tree_starts_at_leaf() {
+        let g = generators::balanced_tree(2, 3);
+        let order = degeneracy(&g);
+        // first removed vertex must be a leaf (degree 1)
+        assert_eq!(g.degree(order[0]), 1);
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_orders() {
+        let g = generators::path(3);
+        assert!(!is_permutation(&g, &[NodeId(0), NodeId(0), NodeId(1)]));
+        assert!(!is_permutation(&g, &[NodeId(0), NodeId(1)]));
+        assert!(!is_permutation(&g, &[NodeId(0), NodeId(1), NodeId(7)]));
+    }
+}

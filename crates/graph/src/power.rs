@@ -1,0 +1,79 @@
+//! Power graphs `G^k`.
+//!
+//! In `G^k`, nodes `u != v` are adjacent iff `dist_G(u, v) <= k`. The
+//! SLOCAL→LOCAL transformation (paper, Lemma 3.1) computes a network
+//! decomposition of `G^{r+1}` so that clusters that are simulated in
+//! parallel are far apart in `G`.
+
+use crate::{traversal, Graph, GraphBuilder};
+
+#[cfg(test)]
+use crate::NodeId;
+
+/// Builds the `k`-th power of `g`: `u ~ v` iff `1 <= dist_G(u,v) <= k`.
+///
+/// Runs one truncated BFS per node; `O(n · |B_k|)` time.
+pub fn power(g: &Graph, k: usize) -> Graph {
+    let mut b = GraphBuilder::new(g.node_count());
+    if k == 0 {
+        return b.build();
+    }
+    for v in g.nodes() {
+        for u in traversal::ball(g, v, k) {
+            if u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn first_power_is_identity() {
+        let g = generators::cycle(7);
+        let p = power(&g, 1);
+        assert_eq!(p.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert!(p.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn zeroth_power_is_empty() {
+        let g = generators::cycle(5);
+        assert_eq!(power(&g, 0).edge_count(), 0);
+    }
+
+    #[test]
+    fn square_of_path_connects_distance_two() {
+        let g = generators::path(5);
+        let p = power(&g, 2);
+        assert!(p.has_edge(NodeId(0), NodeId(2)));
+        assert!(!p.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn power_distances_contract() {
+        let g = generators::cycle(12);
+        let p = power(&g, 3);
+        let dg = traversal::bfs_distances(&g, NodeId(0));
+        let dp = traversal::bfs_distances(&p, NodeId(0));
+        for v in g.nodes() {
+            // dist_{G^k}(u,v) = ceil(dist_G(u,v) / k)
+            let expect = dg[v.index()].div_ceil(3);
+            assert_eq!(dp[v.index()], expect, "node {v}");
+        }
+    }
+
+    #[test]
+    fn high_power_is_complete_on_connected_graph() {
+        let g = generators::path(6);
+        let p = power(&g, 5);
+        assert_eq!(p.edge_count(), 15);
+    }
+}

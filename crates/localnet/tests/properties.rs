@@ -1,0 +1,133 @@
+//! Property-based tests for the LOCAL/SLOCAL simulator substrate.
+
+use lds_gibbs::models::hardcore;
+use lds_gibbs::PartialConfig;
+use lds_graph::{generators, ordering, traversal, Graph, NodeId};
+use lds_localnet::decomposition::{linial_saks, DecompositionParams, UNCLUSTERED};
+use lds_localnet::{scheduler, Instance, Network};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(idx: usize, seed: u64) -> Graph {
+    match idx % 4 {
+        0 => generators::cycle(12),
+        1 => generators::torus(4, 4),
+        2 => generators::random_regular(14, 3, &mut StdRng::seed_from_u64(seed)),
+        _ => generators::grid(3, 5),
+    }
+}
+
+fn network(g: &Graph, seed: u64) -> Network {
+    Network::new(
+        Instance::unconditioned(hardcore::model(g, 1.0)),
+        seed,
+    )
+}
+
+proptest! {
+    /// Decomposition invariants on random graphs and seeds: clusters
+    /// cover the graph (w.h.p. at defaults), colors separate clusters,
+    /// and weak radii stay within the Linial–Saks caps.
+    #[test]
+    fn decomposition_invariants(gidx in 0usize..4, seed in 0u64..500) {
+        let g = workload(gidx, seed);
+        let params = DecompositionParams::for_size(g.node_count());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = linial_saks(&g, params, &mut rng);
+        prop_assert!(d.verify_color_separation(&g));
+        prop_assert!(d.colors <= params.color_cap);
+        prop_assert!(d.max_weak_radius(&g) <= 2 * params.radius_cap);
+        // members/cluster/color tables are mutually consistent
+        for (cid, members) in d.members().iter().enumerate() {
+            for &v in members {
+                prop_assert_eq!(d.cluster[v.index()], cid as u32);
+                prop_assert_ne!(d.color[v.index()], UNCLUSTERED);
+            }
+        }
+    }
+
+    /// The chromatic schedule's ordering is always a permutation, and
+    /// same-color clusters are separated beyond the locality.
+    #[test]
+    fn schedule_is_valid(gidx in 0usize..4, seed in 0u64..200, locality in 1usize..4) {
+        let g = workload(gidx, seed);
+        let net = network(&g, seed);
+        let s = scheduler::chromatic_schedule(&net, locality, 0);
+        prop_assert!(ordering::is_permutation(&g, &s.order));
+        prop_assert!(s.rounds >= s.colors);
+        let d = &s.decomposition;
+        let r = locality.min(traversal::diameter(&g) as usize);
+        for u in g.nodes() {
+            if d.color[u.index()] == UNCLUSTERED { continue; }
+            let dist = traversal::bfs_distances(&g, u);
+            for v in g.nodes() {
+                if v <= u || d.color[v.index()] == UNCLUSTERED { continue; }
+                if d.color[u.index()] == d.color[v.index()]
+                    && d.cluster[u.index()] != d.cluster[v.index()] {
+                    prop_assert!(dist[v.index()] as usize > r + 1);
+                }
+            }
+        }
+    }
+
+    /// Views are hermetic: the subgraph is exactly the ball, pins outside
+    /// never leak in, and seeds match the network's derivation.
+    #[test]
+    fn views_are_hermetic(gidx in 0usize..4, seed in 0u64..200, t in 0usize..4, c in 0usize..12) {
+        let g = workload(gidx, seed);
+        let n = g.node_count();
+        let center = NodeId::from_index(c % n);
+        let net = network(&g, seed);
+        let view = net.view(center, t);
+        let ball: std::collections::HashSet<NodeId> =
+            traversal::ball(&g, center, t).into_iter().collect();
+        prop_assert_eq!(view.subgraph().len(), ball.len());
+        for l in 0..view.subgraph().len() {
+            let local = NodeId::from_index(l);
+            let global = view.subgraph().to_parent(local);
+            prop_assert!(ball.contains(&global));
+            prop_assert_eq!(view.member_seed(local), net.node_seed(global, 0));
+            prop_assert!(view.distance(local) as usize <= t);
+        }
+        // every factor of the view is fully inside the ball
+        for f in view.model().factors() {
+            for &s in f.scope() {
+                prop_assert!(s.index() < view.subgraph().len());
+            }
+        }
+    }
+
+    /// Determinism: identical seeds give identical schedules and views.
+    #[test]
+    fn execution_is_reproducible(gidx in 0usize..4, seed in 0u64..200) {
+        let g = workload(gidx, seed);
+        let n1 = network(&g, seed);
+        let n2 = network(&g, seed);
+        let s1 = scheduler::chromatic_schedule(&n1, 2, 5);
+        let s2 = scheduler::chromatic_schedule(&n2, 2, 5);
+        prop_assert_eq!(s1.order, s2.order);
+        prop_assert_eq!(s1.rounds, s2.rounds);
+    }
+
+    /// Instances reject locally infeasible pinnings and accept feasible
+    /// ones, for arbitrary single-node pins.
+    #[test]
+    fn instance_validation(gidx in 0usize..4, seed in 0u64..100, node in 0usize..12) {
+        let g = workload(gidx, seed);
+        let n = g.node_count();
+        let v = NodeId::from_index(node % n);
+        let model = hardcore::model(&g, 1.0);
+        // single pins are always locally feasible for hardcore
+        let mut tau = PartialConfig::empty(n);
+        tau.pin(v, lds_gibbs::Value(1));
+        prop_assert!(Instance::new(model.clone(), tau).is_ok());
+        // two adjacent occupied pins are not
+        if let Some(&w) = g.neighbors(v).next() {
+            let mut bad = PartialConfig::empty(n);
+            bad.pin(v, lds_gibbs::Value(1));
+            bad.pin(w, lds_gibbs::Value(1));
+            prop_assert!(Instance::new(model, bad).is_err());
+        }
+    }
+}

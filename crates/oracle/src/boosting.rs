@@ -1,0 +1,257 @@
+//! The boosting lemma (paper, Lemma 4.1).
+//!
+//! For local Gibbs distributions, approximate inference with **additive**
+//! (total-variation) error `δ` can be boosted to approximate inference
+//! with **multiplicative** error `ε` at the cost of a constant-factor
+//! radius increase. The algorithm `A^×_ε` at node `v`:
+//!
+//! 1. sets `δ = ε/(5qn)` and `t = t(n, δ)`, the base oracle's radius;
+//! 2. enumerates the frontier ring `Γ = B_{t+ℓ}(v) \ (B_t(v) ∪ Λ)` in
+//!    increasing id order, pinning each `v_i` to the value maximizing the
+//!    base oracle's marginal `μ̂^{τ_{i-1}}_{v_i}` — the argmax has true
+//!    probability `≥ 1/q − δ`, so every step multiplies the feasible mass
+//!    by at most `e^{ε/n}` of slack (the chain-rule telescoping of the
+//!    paper's proof);
+//! 3. returns the **exact** marginal `μ^{τ_m}_v` computed under the ball
+//!    weight `w_B`, which conditional independence (Proposition 2.1)
+//!    makes a function of `B_{t+ℓ}(v)` only.
+//!
+//! The result satisfies `e^{−ε} ≤ μ̂_v(c)/μ^τ_v(c) ≤ e^{ε}` for every
+//! color `c` — the multiplicative guarantee the distributed JVV sampler
+//! (Theorem 4.2) consumes.
+
+use lds_gibbs::{distribution, GibbsModel, PartialConfig};
+use lds_graph::{traversal, NodeId};
+
+use crate::InferenceOracle;
+
+/// Inference with a multiplicative-error guarantee
+/// `err(μ̂_v, μ^τ_v) ≤ ε` (paper, eq. (2)).
+pub trait MultiplicativeInference {
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Radius needed for multiplicative error `ε` on a given model.
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize;
+
+    /// Estimates `μ_v^τ` with multiplicative error `ε`.
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64>;
+}
+
+/// The boosted oracle `A^×_ε` built from an additive-error base oracle
+/// `A^+_δ` (Lemma 4.1).
+///
+/// # Example
+///
+/// ```
+/// use lds_gibbs::models::hardcore;
+/// use lds_gibbs::PartialConfig;
+/// use lds_graph::{generators, NodeId};
+/// use lds_oracle::{BoostedOracle, DecayRate, EnumerationOracle};
+/// use lds_oracle::saw::TwoSpinSawOracle;
+/// use lds_gibbs::models::two_spin::TwoSpinParams;
+/// use lds_oracle::boosting::MultiplicativeInference;
+///
+/// let g = generators::cycle(8);
+/// let m = hardcore::model(&g, 1.0);
+/// let base = TwoSpinSawOracle::new(
+///     TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
+/// let boosted = BoostedOracle::new(base);
+/// let mu = boosted.marginal_mul(&m, &PartialConfig::empty(8), NodeId(0), 0.5);
+/// assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoostedOracle<O> {
+    base: O,
+}
+
+impl<O: InferenceOracle> BoostedOracle<O> {
+    /// Wraps an additive-error oracle.
+    pub fn new(base: O) -> Self {
+        BoostedOracle { base }
+    }
+
+    /// The base oracle.
+    pub fn base(&self) -> &O {
+        &self.base
+    }
+
+    /// The base-oracle radius `t = t(n, ε/(5qn))` used inside the
+    /// boosting construction.
+    pub fn inner_radius(&self, model: &GibbsModel, eps: f64) -> usize {
+        let n = model.node_count().max(1);
+        let q = model.alphabet_size();
+        let delta = eps / (5.0 * q as f64 * n as f64);
+        self.base.radius(n, delta)
+    }
+
+    /// The boosted marginal together with the fully pinned frontier
+    /// configuration `τ_m` (exposed for tests).
+    pub fn marginal_with_frontier(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> (Vec<f64>, PartialConfig) {
+        let q = model.alphabet_size();
+        if let Some(val) = pinning.get(v) {
+            let mut point = vec![0.0; q];
+            point[val.index()] = 1.0;
+            return (point, pinning.clone());
+        }
+        let g = model.graph();
+        let ell = model.locality().max(1);
+        let t = self.inner_radius(model, eps);
+
+        // Γ in increasing id order
+        let dist = traversal::bfs_distances(g, v);
+        let members = traversal::ball(g, v, t + ell);
+        let mut frontier: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&u| (dist[u.index()] as usize) > t && !pinning.is_pinned(u))
+            .collect();
+        frontier.sort_unstable();
+
+        // sequential argmax pinning with the base oracle
+        let mut tau_i = pinning.clone();
+        for vi in frontier {
+            let mu = self.base.marginal(model, &tau_i, vi, t);
+            let argmax = mu
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite marginals"))
+                .map(|(i, _)| i)
+                .expect("nonempty alphabet");
+            tau_i.pin(vi, lds_gibbs::Value::from_index(argmax));
+        }
+
+        // exact marginal under w_B given τ_m
+        let (ball_model, sub) = model.restrict_to(&members);
+        let local_pin = GibbsModel::localize_pinning(&sub, &tau_i);
+        let lv = sub.to_local(v).expect("center in ball");
+        let marginal = distribution::marginal(&ball_model, &local_pin, lv)
+            .unwrap_or_else(|| vec![1.0 / q as f64; q]);
+        (marginal, tau_i)
+    }
+}
+
+impl<O: InferenceOracle> MultiplicativeInference for BoostedOracle<O> {
+    fn name(&self) -> &str {
+        "boosted"
+    }
+
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize {
+        // node v simulates the base algorithm at nodes within t + ℓ,
+        // each needing radius t: total 2t + ℓ.
+        let ell = model.locality().max(1);
+        2 * self.inner_radius(model, eps) + ell
+    }
+
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64> {
+        self.marginal_with_frontier(model, pinning, v, eps).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecayRate, TwoSpinSawOracle};
+    use lds_gibbs::models::two_spin::TwoSpinParams;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_gibbs::{metrics, Value};
+    use lds_graph::generators;
+
+    fn boosted_hc(lambda: f64) -> BoostedOracle<TwoSpinSawOracle> {
+        BoostedOracle::new(TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda),
+            DecayRate::new(0.4, 2.0),
+        ))
+    }
+
+    #[test]
+    fn multiplicative_error_is_bounded() {
+        let g = generators::cycle(10);
+        let m = hardcore::model(&g, 1.0);
+        let tau = PartialConfig::empty(10);
+        let boosted = boosted_hc(1.0);
+        let exact = distribution::marginal(&m, &tau, NodeId(0)).unwrap();
+        for eps in [0.5, 0.1] {
+            let est = boosted.marginal_mul(&m, &tau, NodeId(0), eps);
+            let err = metrics::multiplicative_err(&exact, &est);
+            assert!(err <= eps, "eps={eps}: err={err}");
+        }
+    }
+
+    #[test]
+    fn boosted_respects_pins_and_zeroes() {
+        let g = generators::path(6);
+        let m = hardcore::model(&g, 2.0);
+        let mut tau = PartialConfig::empty(6);
+        tau.pin(NodeId(2), Value(1));
+        let boosted = boosted_hc(2.0);
+        // neighbor of occupied is deterministically empty: the boosted
+        // oracle must put *zero* mass there (multiplicative error!)
+        let est = boosted.marginal_mul(&m, &tau, NodeId(1), 0.3);
+        assert_eq!(est[1], 0.0);
+        // pinned node is a point mass
+        let p = boosted.marginal_mul(&m, &tau, NodeId(2), 0.3);
+        assert_eq!(p, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn frontier_is_fully_pinned() {
+        let g = generators::cycle(12);
+        let m = hardcore::model(&g, 1.0);
+        let tau = PartialConfig::empty(12);
+        let boosted = boosted_hc(1.0);
+        let (_, tau_m) = boosted.marginal_with_frontier(&m, &tau, NodeId(0), 0.5);
+        let t = boosted.inner_radius(&m, 0.5);
+        let ell = m.locality().max(1);
+        let dist = lds_graph::traversal::bfs_distances(&g, NodeId(0));
+        for u in g.nodes() {
+            let d = dist[u.index()] as usize;
+            if d > t && d <= t + ell {
+                assert!(tau_m.is_pinned(u), "frontier node {u} not pinned");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_accounting() {
+        let g = generators::cycle(10);
+        let m = hardcore::model(&g, 1.0);
+        let boosted = boosted_hc(1.0);
+        let r = boosted.radius_mul(&m, 0.5);
+        assert_eq!(r, 2 * boosted.inner_radius(&m, 0.5) + 1);
+    }
+
+    #[test]
+    fn works_with_enumeration_base_on_colorings() {
+        use crate::EnumerationOracle;
+        let g = generators::cycle(8);
+        let m = coloring::model(&g, 3);
+        let tau = PartialConfig::empty(8);
+        let base = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        let boosted = BoostedOracle::new(base);
+        let exact = distribution::marginal(&m, &tau, NodeId(0)).unwrap();
+        let est = boosted.marginal_mul(&m, &tau, NodeId(0), 0.6);
+        let err = metrics::multiplicative_err(&exact, &est);
+        assert!(err <= 0.6, "coloring boosted err {err}");
+    }
+
+    use lds_gibbs::distribution;
+}

@@ -1,0 +1,93 @@
+/// Exponential decay rate `δ_n(t) = c·αᵗ` — the quantitative form of
+/// strong spatial mixing used for radius planning (paper, Definition 5.1,
+/// "strong spatial mixing with exponential decay at rate α").
+///
+/// The paper's Theorem 5.1 converts a mixing rate into an inference radius
+/// `t(n, δ) = min{t : δ_n(t) ≤ δ} + O(1)`; [`DecayRate::radius_for`]
+/// computes exactly that.
+///
+/// # Example
+///
+/// ```
+/// use lds_oracle::DecayRate;
+/// let rate = DecayRate::new(0.5, 2.0);
+/// // 2 * 0.5^t <= 0.01  =>  t >= log2(200) ≈ 7.6
+/// assert_eq!(rate.radius_for(0.01), 8);
+/// assert!(rate.error_at(8) <= 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecayRate {
+    alpha: f64,
+    c: f64,
+}
+
+impl DecayRate {
+    /// Creates a decay rate with `δ(t) = c·αᵗ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α < 1` and `c > 0`.
+    pub fn new(alpha: f64, c: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "decay rate alpha must be in (0, 1), got {alpha}"
+        );
+        assert!(c > 0.0 && c.is_finite(), "decay constant must be positive");
+        DecayRate { alpha, c }
+    }
+
+    /// The rate `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The constant `c`.
+    pub fn constant(&self) -> f64 {
+        self.c
+    }
+
+    /// The error bound `δ(t) = c·αᵗ` at radius `t`.
+    pub fn error_at(&self, t: usize) -> f64 {
+        self.c * self.alpha.powi(t as i32)
+    }
+
+    /// The smallest `t` with `δ(t) ≤ δ` — the paper's
+    /// `min{t : δ_n(t) ≤ δ}`.
+    pub fn radius_for(&self, delta: f64) -> usize {
+        assert!(delta > 0.0, "error target must be positive");
+        if self.c <= delta {
+            return 0;
+        }
+        let t = ((self.c / delta).ln() / (1.0 / self.alpha).ln()).ceil();
+        t as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_inverts_error() {
+        let r = DecayRate::new(0.7, 3.0);
+        for delta in [0.5, 0.1, 0.01, 1e-6] {
+            let t = r.radius_for(delta);
+            assert!(r.error_at(t) <= delta + 1e-15);
+            if t > 0 {
+                assert!(r.error_at(t - 1) > delta);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_when_constant_below_target() {
+        let r = DecayRate::new(0.5, 0.05);
+        assert_eq!(r.radius_for(0.1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn rejects_bad_alpha() {
+        let _ = DecayRate::new(1.5, 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the inference oracles.
+
+use lds_gibbs::models::two_spin::TwoSpinParams;
+use lds_gibbs::models::{coloring, hardcore};
+use lds_gibbs::{distribution, metrics, PartialConfig, Value};
+use lds_graph::{generators, Graph, NodeId};
+use lds_oracle::{
+    BoostedOracle, DecayRate, EnumerationOracle, InferenceOracle, MultiplicativeInference,
+    TwoSpinSawOracle,
+};
+use proptest::prelude::*;
+
+fn workload(idx: usize) -> Graph {
+    match idx % 4 {
+        0 => generators::cycle(8),
+        1 => generators::path(7),
+        2 => generators::grid(2, 4),
+        _ => generators::grid(3, 3),
+    }
+}
+
+proptest! {
+    /// SAW interval bounds always bracket the exact marginal, at every
+    /// radius, on every workload, with or without pinnings.
+    #[test]
+    fn saw_bounds_bracket_truth(
+        gidx in 0usize..4,
+        lambda in 0.2f64..3.0,
+        t in 1usize..7,
+        pin_node in 0usize..7,
+        pin_occupied in any::<bool>(),
+    ) {
+        let g = workload(gidx);
+        let n = g.node_count();
+        let m = hardcore::model(&g, lambda);
+        let mut tau = PartialConfig::empty(n);
+        let pv = NodeId::from_index(pin_node % n);
+        tau.pin(pv, if pin_occupied { Value(1) } else { Value(0) });
+        prop_assume!(distribution::is_feasible(&m, &tau));
+        let oracle = TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda), DecayRate::new(0.5, 2.0));
+        for v in g.nodes() {
+            if v == pv { continue; }
+            let exact = distribution::marginal(&m, &tau, v).unwrap()[1];
+            let b = oracle.marginal_bounds(&g, &tau, v, t);
+            prop_assert!(
+                b.lo <= exact + 1e-9 && exact <= b.hi + 1e-9,
+                "v={v} t={t}: [{}, {}] vs {exact}", b.lo, b.hi
+            );
+        }
+    }
+
+    /// SAW certified gaps are monotone non-increasing in the radius.
+    #[test]
+    fn saw_gap_monotone_in_radius(gidx in 0usize..4, lambda in 0.2f64..2.0) {
+        let g = workload(gidx);
+        let tau = PartialConfig::empty(g.node_count());
+        let oracle = TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda), DecayRate::new(0.5, 2.0));
+        let mut last = f64::INFINITY;
+        for t in 1..7 {
+            let gap = oracle.marginal_bounds(&g, &tau, NodeId(0), t).gap();
+            prop_assert!(gap <= last + 1e-12, "gap grew at t={t}");
+            last = gap;
+        }
+    }
+
+    /// The enumeration oracle returns probability vectors that respect
+    /// certified zeros (blocked values get exactly zero mass).
+    #[test]
+    fn enumeration_respects_hard_constraints(
+        gidx in 0usize..4,
+        t in 1usize..4,
+        pin_node in 0usize..7,
+    ) {
+        let g = workload(gidx);
+        let n = g.node_count();
+        let m = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(n);
+        let pv = NodeId::from_index(pin_node % n);
+        tau.pin(pv, Value(1));
+        let oracle = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        for &nb in g.neighbors(pv) {
+            let mu = oracle.marginal(&m, &tau, nb, t);
+            prop_assert_eq!(mu[1], 0.0, "neighbor {} of occupied {} got mass", nb, pv);
+            prop_assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Boosted oracles keep the multiplicative guarantee on cycles
+    /// whenever the planned decay dominates the true decay.
+    #[test]
+    fn boosting_guarantee_on_cycles(
+        n in 6usize..12,
+        lambda in 0.3f64..2.0,
+        eps in 0.1f64..0.8,
+    ) {
+        let g = generators::cycle(n);
+        let m = hardcore::model(&g, lambda);
+        let tau = PartialConfig::empty(n);
+        let boosted = BoostedOracle::new(TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda), DecayRate::new(0.55, 2.0)));
+        let exact = distribution::marginal(&m, &tau, NodeId(0)).unwrap();
+        let est = boosted.marginal_mul(&m, &tau, NodeId(0), eps);
+        let err = metrics::multiplicative_err(&exact, &est);
+        prop_assert!(err <= eps, "n={n} λ={lambda} ε={eps}: err {err}");
+    }
+
+    /// Radius planning is monotone: smaller error targets need larger
+    /// radii, and the planned error at the planned radius meets the target.
+    #[test]
+    fn radius_planning_is_sound(alpha in 0.1f64..0.9, c in 0.5f64..8.0, delta in 1e-6f64..0.5) {
+        let rate = DecayRate::new(alpha, c);
+        let t = rate.radius_for(delta);
+        prop_assert!(rate.error_at(t) <= delta * (1.0 + 1e-9));
+        if t > 0 {
+            prop_assert!(rate.error_at(t - 1) > delta);
+        }
+    }
+
+    /// Locality: oracles are insensitive to pins beyond their radius.
+    #[test]
+    fn oracles_are_local(lambda in 0.3f64..2.0, t in 1usize..5) {
+        let g = generators::cycle(16);
+        let m = hardcore::model(&g, lambda);
+        let far = NodeId(8);
+        let mut sigma = PartialConfig::empty(16);
+        sigma.pin(far, Value(0));
+        let mut tau = PartialConfig::empty(16);
+        tau.pin(far, Value(1));
+        prop_assume!(t + 2 < 8);
+        let saw = TwoSpinSawOracle::new(
+            TwoSpinParams::hardcore(lambda), DecayRate::new(0.5, 2.0));
+        prop_assert_eq!(
+            saw.marginal(&m, &sigma, NodeId(0), t),
+            saw.marginal(&m, &tau, NodeId(0), t)
+        );
+        let enumo = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        prop_assert_eq!(
+            enumo.marginal(&m, &sigma, NodeId(0), t),
+            enumo.marginal(&m, &tau, NodeId(0), t)
+        );
+    }
+
+    /// Enumeration oracle on colorings returns proper conditional
+    /// marginals that sum to one.
+    #[test]
+    fn coloring_marginals_normalize(n in 5usize..10, q in 3usize..5, t in 1usize..4) {
+        let g = generators::cycle(n);
+        let m = coloring::model(&g, q);
+        let tau = PartialConfig::empty(n);
+        let oracle = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
+        let mu = oracle.marginal(&m, &tau, NodeId(0), t);
+        prop_assert_eq!(mu.len(), q);
+        prop_assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling weighted matchings (monomer–dimer) in `O(√Δ·log³ n)` rounds
+//! (Corollary 5.3, first bullet).
+//!
+//! Matchings of `G` are independent sets of the line graph `L(G)` — a
+//! distance-preserving duality — and the monomer–dimer model always
+//! exhibits strong spatial mixing (rate `1 − Ω(1/√(λΔ))`), so exact
+//! local sampling works at *every* edge weight `λ` and degree `Δ`.
+//!
+//! Run with: `cargo run --example matchings_sampler --release`
+
+use lds::core::{apps, complexity};
+use lds::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for delta in [3usize, 4, 5] {
+        let g = generators::random_regular(10, delta, &mut rng);
+        let lambda = 1.5;
+        let rate = complexity::matching_decay_rate(lambda, delta);
+        let out = apps::sample_matching(&g, lambda, 0.02, 7);
+        println!(
+            "Δ = {delta}: sampled matching of {} edges out of {} \
+             (decay rate {:.3}, rounds {}, bound shape √Δ·log³n = {:.0})",
+            out.edges.len(),
+            g.edge_count(),
+            rate,
+            out.run.rounds,
+            out.run.bound_rounds,
+        );
+        println!("         edges: {:?}", out.edges);
+    }
+    println!(
+        "\nUnlike the hardcore model, there is no phase transition here: \
+         matchings mix at every temperature, so the sampler never leaves \
+         the tractable regime."
+    );
+}

@@ -1,0 +1,49 @@
+//! # lds — Local Distributed Sampling and Counting
+//!
+//! A Rust workspace reproducing **Feng & Yin, "On Local Distributed
+//! Sampling and Counting" (PODC 2018, arXiv:1802.06686)**: reductions
+//! between approximate inference, approximate sampling and exact sampling
+//! in the LOCAL model of distributed computing, the distributed
+//! Jerrum–Valiant–Vazirani sampler, the equivalence with strong spatial
+//! mixing, and the computational phase transition for distributed
+//! sampling at the hardcore uniqueness threshold.
+//!
+//! This crate is an umbrella re-exporting the workspace members:
+//!
+//! * [`graph`] — graph substrate (CSR graphs, generators, balls, power
+//!   graphs, line graphs, hypergraphs).
+//! * [`gibbs`] — Gibbs distributions defined by local constraints, their
+//!   exact enumeration, and the paper's application models.
+//! * [`localnet`] — LOCAL/SLOCAL simulators, network decomposition and
+//!   the SLOCAL→LOCAL transformation (Lemma 3.1).
+//! * [`oracle`] — marginal oracles: ball enumeration (Theorem 5.1),
+//!   Weitz SAW trees, and the boosting lemma (Lemma 4.1).
+//! * [`core`] — the paper's reductions, the `local-JVV` exact sampler
+//!   (Theorem 4.2), SSM ⟺ inference (Theorem 5.1), and the Corollary 5.3
+//!   applications.
+//! * [`ssm`] — strong spatial mixing estimation, rate fitting, the phase
+//!   transition and the `Ω(diam)` lower-bound witness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lds::core::apps;
+//! use lds::graph::generators;
+//!
+//! // exact LOCAL sampling from the hardcore model below uniqueness
+//! let g = generators::cycle(10);
+//! let run = apps::sample_hardcore(&g, 1.0, 0.001, 42).expect("in regime");
+//! assert_eq!(run.output.len(), 10);
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for the per-claim reproduction record.
+
+#![forbid(unsafe_code)]
+
+pub use lds_core as core;
+pub use lds_gibbs as gibbs;
+pub use lds_graph as graph;
+pub use lds_localnet as localnet;
+pub use lds_oracle as oracle;
+pub use lds_ssm as ssm;

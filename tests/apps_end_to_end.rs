@@ -1,0 +1,113 @@
+//! Integration: every Corollary 5.3 application produces valid outputs,
+//! enforces its regime, and reports coherent round counts.
+
+use lds::core::{apps, complexity};
+use lds::gibbs::models::hypergraph_matching::HypergraphMatchingInstance;
+use lds::gibbs::models::matching::MatchingInstance;
+use lds::gibbs::models::two_spin::TwoSpinParams;
+use lds::gibbs::models::{coloring, hardcore};
+use lds::graph::{generators, Hypergraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_five_applications_run() {
+    // hardcore
+    let g = generators::cycle(8);
+    let hc = apps::sample_hardcore(&g, 1.0, 0.01, 1).unwrap();
+    assert!(hardcore::is_independent_set(&g, &hc.output));
+    assert!(hc.rounds > 0);
+
+    // matchings
+    let mut rng = StdRng::seed_from_u64(2);
+    let rg = generators::random_regular(8, 3, &mut rng);
+    let m = apps::sample_matching(&rg, 1.2, 0.01, 2);
+    assert!(MatchingInstance::new(&rg, 1.2).is_matching(&m.edges));
+
+    // colorings
+    let col = apps::sample_coloring(&g, 4, 0.01, 3).unwrap();
+    assert!(coloring::is_proper(&g, &col.output));
+
+    // antiferro two-spin (Ising)
+    let params = lds::gibbs::models::ising::IsingParams::new(-0.2, 0.0).to_two_spin();
+    let ts = apps::sample_two_spin(&g, params, 0.5, 0.01, 4).unwrap();
+    let tsm = lds::gibbs::models::two_spin::model(&g, params);
+    assert!(tsm.weight(&ts.output) > 0.0);
+
+    // hypergraph matchings
+    let h = Hypergraph::new(
+        6,
+        vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(3), NodeId(4), NodeId(5)],
+        ],
+    );
+    let hm = apps::sample_hypergraph_matching(&h, 0.2, 0.01, 5).unwrap();
+    assert!(HypergraphMatchingInstance::new(&h, 0.2).is_matching(&hm.hyperedges));
+}
+
+#[test]
+fn regimes_are_enforced() {
+    // hardcore above threshold
+    let t = generators::torus(4, 4);
+    assert!(apps::sample_hardcore(&t, 3.0, 0.01, 0).is_err());
+    // ferromagnetic two-spin
+    assert!(apps::sample_two_spin(
+        &generators::cycle(6),
+        TwoSpinParams::new(2.0, 3.0, 1.0),
+        0.5,
+        0.01,
+        0
+    )
+    .is_err());
+    // triangle
+    assert!(apps::sample_coloring(&generators::complete(3), 10, 0.01, 0).is_err());
+    // too few colors
+    assert!(apps::sample_coloring(&t, 5, 0.01, 0).is_err());
+    // hypergraph matching above threshold
+    let h = Hypergraph::new(
+        4,
+        vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(0), NodeId(2), NodeId(3)],
+        ],
+    );
+    assert!(apps::sample_hypergraph_matching(&h, 50.0, 0.01, 0).is_err());
+}
+
+#[test]
+fn hardcore_rounds_grow_toward_threshold() {
+    // closer to λ_c ⟹ weaker decay ⟹ larger radius ⟹ more rounds
+    let g = generators::cycle(24);
+    let lc_proxy = 2.0; // cycles are always unique; use rate growth instead
+    let lo = apps::sample_hardcore(&g, 0.3, 0.01, 7).unwrap();
+    let hi = apps::sample_hardcore(&g, lc_proxy, 0.01, 7).unwrap();
+    assert!(
+        lo.rate < hi.rate,
+        "decay rate must grow with λ: {} vs {}",
+        lo.rate,
+        hi.rate
+    );
+    assert!(lo.rounds <= hi.rounds, "rounds {} vs {}", lo.rounds, hi.rounds);
+}
+
+#[test]
+fn matching_bound_shape_scales_with_degree() {
+    let b3 = complexity::matchings_rounds_bound(3, 64, 1.0);
+    let b6 = complexity::matchings_rounds_bound(6, 64, 1.0);
+    assert!((b6 / b3 - (2.0f64).sqrt()).abs() < 1e-9);
+}
+
+#[test]
+fn acceptance_products_are_valid_probabilities() {
+    let g = generators::cycle(8);
+    for seed in 0..5 {
+        let run = apps::sample_hardcore(&g, 1.0, 0.005, seed).unwrap();
+        let acc = run.acceptance();
+        assert!((0.0..=1.0 + 1e-12).contains(&acc), "acceptance {acc}");
+        assert_eq!(run.stats.clamped, 0);
+        assert_eq!(run.stats.repair_failures, 0);
+    }
+}
