@@ -1,20 +1,27 @@
 //! Criterion bench for experiments E6a–E6c: the Corollary 5.3
-//! application samplers end to end.
+//! application samplers end to end, through the unified engine facade.
+//! `run_batch` over an incrementing seed is the single hot path the
+//! throughput work targets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lds_bench::workloads;
-use lds_core::apps;
+use lds_engine::{Engine, ModelSpec, Task};
 
 fn bench_hardcore_app(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6b_hardcore_app");
     group.sample_size(10);
     for &n in &[8usize, 12, 16] {
-        let g = workloads::cycle(n);
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(workloads::cycle(n))
+            .epsilon(0.01)
+            .build()
+            .expect("in regime");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                apps::sample_hardcore(&g, 1.0, 0.01, seed).unwrap()
+                engine.run_with_seed(Task::SampleExact, seed).unwrap()
             })
         });
     }
@@ -25,12 +32,17 @@ fn bench_matching_app(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6a_matching_app");
     group.sample_size(10);
     for &delta in &[3usize, 4] {
-        let g = workloads::regular(8, delta, 1);
+        let engine = Engine::builder()
+            .model(ModelSpec::Matching { lambda: 1.0 })
+            .graph(workloads::regular(8, delta, 1))
+            .epsilon(0.02)
+            .build()
+            .expect("matchings always in regime");
         group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                apps::sample_matching(&g, 1.0, 0.02, seed)
+                engine.run_with_seed(Task::SampleExact, seed).unwrap()
             })
         });
     }
@@ -41,13 +53,37 @@ fn bench_coloring_app(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6c_coloring_app");
     group.sample_size(10);
     for &n in &[6usize, 8] {
-        let g = workloads::cycle(n);
+        let engine = Engine::builder()
+            .model(ModelSpec::Coloring { q: 4 })
+            .graph(workloads::cycle(n))
+            .epsilon(0.02)
+            .build()
+            .expect("in regime");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                apps::sample_coloring(&g, 4, 0.02, seed).unwrap()
+                engine.run_with_seed(Task::SampleExact, seed).unwrap()
             })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    // the multi-seed hot path as one call, for batching work to attack
+    let mut group = c.benchmark_group("e6d_engine_run_batch");
+    group.sample_size(10);
+    for &batch in &[4usize, 16] {
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(workloads::cycle(12))
+            .epsilon(0.01)
+            .build()
+            .expect("in regime");
+        let seeds: Vec<u64> = (0..batch as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| engine.run_batch(Task::SampleExact, &seeds).unwrap())
         });
     }
     group.finish();
@@ -57,6 +93,7 @@ criterion_group!(
     benches,
     bench_hardcore_app,
     bench_matching_app,
-    bench_coloring_app
+    bench_coloring_app,
+    bench_engine_batch
 );
 criterion_main!(benches);

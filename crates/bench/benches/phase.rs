@@ -32,5 +32,10 @@ fn bench_limiting_gap(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_phase_sweep, bench_gap_series, bench_limiting_gap);
+criterion_group!(
+    benches,
+    bench_phase_sweep,
+    bench_gap_series,
+    bench_limiting_gap
+);
 criterion_main!(benches);

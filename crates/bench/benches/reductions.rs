@@ -17,8 +17,7 @@ fn bench_sequential_sampler(c: &mut Criterion) {
     for &n in &[16usize, 32, 64] {
         let g = workloads::cycle(n);
         let model = hardcore::model(&g, 1.0);
-        let oracle =
-            TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
         let net = Network::new(Instance::unconditioned(model), 1);
         let order = ordering::identity(&g);
         let sampler = SequentialSampler::new(&oracle, 0.05);
@@ -36,14 +35,16 @@ fn bench_local_transformation(c: &mut Criterion) {
         let g = workloads::torus(side);
         let model = hardcore::model(&g, 0.8);
         let net = Network::new(Instance::unconditioned(model), 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &side,
-            |b, _| b.iter(|| scheduler::chromatic_schedule(&net, 3, 0)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            b.iter(|| scheduler::chromatic_schedule(&net, 3, 0))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_sequential_sampler, bench_local_transformation);
+criterion_group!(
+    benches,
+    bench_sequential_sampler,
+    bench_local_transformation
+);
 criterion_main!(benches);

@@ -7,10 +7,11 @@
 //! s1 s2` (default: all).
 
 use lds_bench::{d, f, workloads, Table};
+use lds_core::complexity;
 use lds_core::jvv::{self, LocalJvv};
 use lds_core::sampler::SequentialSampler;
 use lds_core::sampling_to_inference;
-use lds_core::{apps, complexity};
+use lds_engine::{Engine, ModelSpec, Task};
 use lds_gibbs::models::two_spin::TwoSpinParams;
 use lds_gibbs::models::{coloring, hardcore, matching::MatchingInstance};
 use lds_gibbs::{distribution, metrics, Config, PartialConfig};
@@ -38,7 +39,15 @@ fn e1() {
         "Hardcore λ=1 on cycles. Sampler error must be ≤ δ; rounds are the \
          simulated LOCAL cost O(t(n, δ/n)·log² n) of Lemma 3.1. TV is the \
          joint empirical-vs-exact distance (5000 runs; n ≤ 8 only).",
-        &["graph", "n", "delta", "t(n,d/n)", "rounds", "colors", "TV(joint)"],
+        &[
+            "graph",
+            "n",
+            "delta",
+            "t(n,d/n)",
+            "rounds",
+            "colors",
+            "TV(joint)",
+        ],
     );
     for &n in &[8usize, 16, 32] {
         for &delta in &[0.2f64, 0.05] {
@@ -85,7 +94,15 @@ fn e2() {
         "Marginals reconstructed from repeated LOCAL sampler executions \
          (Monte Carlo substitution, DESIGN.md §6). Error bound: δ + ε₀ + \
          sampling noise.",
-        &["graph", "n", "delta", "reps", "fail rate e0", "max node TV err", "bound"],
+        &[
+            "graph",
+            "n",
+            "delta",
+            "reps",
+            "fail rate e0",
+            "max node TV err",
+            "bound",
+        ],
     );
     for &(n, delta, reps) in &[(6usize, 0.05f64, 4000usize), (8, 0.1, 3000)] {
         let g = workloads::cycle(n);
@@ -156,7 +173,13 @@ fn e4() {
          output must follow μ exactly (TV ≈ Monte Carlo noise); success \
          rate ≥ e^{−5n²ε}. ε = 1/n³ (the paper's instantiation).",
         &[
-            "n", "eps", "runs", "success rate", "bound", "TV(accepted)", "clamped",
+            "n",
+            "eps",
+            "runs",
+            "success rate",
+            "bound",
+            "TV(accepted)",
+            "clamped",
         ],
     );
     for &n in &[5usize, 6, 7, 8] {
@@ -201,7 +224,12 @@ fn e5() {
          achieves error ≤ the planned bound c·αᵗ at every radius. Right: the \
          measured SSM gap series fits an exponential with rate ≈ theory.",
         &[
-            "lambda", "t", "bound c*a^t", "measured err", "fitted alpha", "theory alpha",
+            "lambda",
+            "t",
+            "bound c*a^t",
+            "measured err",
+            "fitted alpha",
+            "theory alpha",
         ],
     );
     for &lambda in &[0.5f64, 1.0, 1.5] {
@@ -244,7 +272,13 @@ fn e6a() {
          the simulated JVV schedule cost on the line graph; the paper's \
          shape is √Δ·log³ n — the measured/bound ratio should stay flat in Δ.",
         &[
-            "Delta", "n(line)", "rate", "locality", "rounds", "bound", "rounds/bound",
+            "Delta",
+            "n(line)",
+            "rate",
+            "locality",
+            "rounds",
+            "bound",
+            "rounds/bound",
         ],
     );
     for &delta in &[3usize, 4, 5, 6] {
@@ -257,8 +291,7 @@ fn e6a() {
         let model = inst.model().clone();
         let rmul = MultiplicativeInference::radius_mul(&oracle, &model, eps);
         let ell = model.locality().max(1);
-        let locality =
-            lds_localnet::slocal::multipass_locality(&[rmul, rmul, 3 * rmul + ell]);
+        let locality = lds_localnet::slocal::multipass_locality(&[rmul, rmul, 3 * rmul + ell]);
         let net = Network::new(Instance::unconditioned(model.clone()), 3);
         let rounds = (0..5)
             .map(|s| scheduler::chromatic_schedule(&net, locality, s).rounds)
@@ -280,13 +313,21 @@ fn e6a() {
     let g = workloads::regular(8, 3, 1);
     let n_line = g.edge_count();
     let eps = LocalJvv::<TwoSpinSawOracle>::paper_epsilon(n_line);
-    let out = apps::sample_matching(&g, 1.0, eps, 9);
+    let engine = Engine::builder()
+        .model(ModelSpec::Matching { lambda: 1.0 })
+        .graph(g.clone())
+        .epsilon(eps)
+        .build()
+        .expect("matchings always in regime");
+    let out = engine
+        .run_with_seed(Task::SampleExact, 9)
+        .expect("valid task");
     println!(
         "validation: full JVV matching run on 8-node 3-regular graph: \
          feasible={} rounds={} acceptance={:.3}",
-        MatchingInstance::new(&g, 1.0).is_matching(&out.edges),
-        out.run.rounds,
-        out.run.acceptance()
+        MatchingInstance::new(&g, 1.0).is_matching(out.matching_edges().expect("decode")),
+        out.rounds,
+        out.acceptance().expect("exact run")
     );
 }
 
@@ -296,7 +337,14 @@ fn e6b() {
         "E6b  Hardcore sampler rounds below uniqueness (Corollary 5.3)",
         "λ = 0.8·λ_c(4) on tori. Rounds vs the O(log³ n) bound; the ratio \
          should stay bounded as n grows.",
-        &["n", "rate", "locality", "rounds", "log^3 n", "rounds/log^3 n"],
+        &[
+            "n",
+            "rate",
+            "locality",
+            "rounds",
+            "log^3 n",
+            "rounds/log^3 n",
+        ],
     );
     let lambda = 0.8 * complexity::hardcore_uniqueness_threshold(4);
     let alpha = complexity::hardcore_decay_rate(lambda, 4);
@@ -326,11 +374,17 @@ fn e6b() {
     t.print();
     // full validation on a cycle at the paper's ε = 1/n³
     let g = workloads::cycle(10);
-    let run = apps::sample_hardcore(&g, 1.0, LocalJvv::<TwoSpinSawOracle>::paper_epsilon(10), 4)
-        .unwrap();
+    let run = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(g.clone())
+        .epsilon(LocalJvv::<TwoSpinSawOracle>::paper_epsilon(10))
+        .build()
+        .expect("in regime")
+        .run_with_seed(Task::SampleExact, 4)
+        .expect("valid task");
     println!(
         "validation: full JVV hardcore run on C10: feasible={} rounds={}",
-        hardcore::is_independent_set(&g, &run.output),
+        hardcore::is_independent_set(&g, run.config().expect("sampling run")),
         run.rounds
     );
 }
@@ -346,13 +400,21 @@ fn e6c() {
     for &n in &[5usize, 6, 8] {
         let g = workloads::cycle(n);
         let eps = LocalJvv::<TwoSpinSawOracle>::paper_epsilon(n);
+        let engine = Engine::builder()
+            .model(ModelSpec::Coloring { q: 4 })
+            .graph(g.clone())
+            .epsilon(eps)
+            .build()
+            .expect("q = 4 > α*·2 on cycles");
         let mut rounds = 0usize;
         let mut proper = true;
         let mut successes = 0usize;
-        for seed in 0..5u64 {
-            let run = apps::sample_coloring(&g, 4, eps, seed).unwrap();
+        for run in engine
+            .run_batch(Task::SampleExact, &[0, 1, 2, 3, 4])
+            .expect("valid task")
+        {
             rounds = rounds.max(run.rounds);
-            proper &= coloring::is_proper(&g, &run.output);
+            proper &= coloring::is_proper(&g, run.config().expect("sampling run"));
             successes += run.succeeded as usize;
         }
         t.row(vec![
@@ -382,7 +444,17 @@ fn e6d() {
         let rate4 = complexity::ising_decay_rate(beta, 4);
         let rate2 = complexity::ising_decay_rate(beta, 2);
         let eps = LocalJvv::<TwoSpinSawOracle>::paper_epsilon(12);
-        match apps::sample_two_spin(&g, params, rate2.clamp(0.05, 0.9), eps, 3) {
+        let built = Engine::builder()
+            .model(ModelSpec::TwoSpin {
+                beta: params.beta,
+                gamma: params.gamma,
+                lambda: params.lambda,
+                rate: rate2.clamp(0.05, 0.9),
+            })
+            .graph(g.clone())
+            .epsilon(eps)
+            .build();
+        match built.and_then(|e| e.run_with_seed(Task::SampleExact, 3)) {
             Ok(run) => {
                 let m = lds_gibbs::models::two_spin::model(&g, params);
                 t.row(vec![
@@ -390,7 +462,7 @@ fn e6d() {
                     f(rate4),
                     d(true),
                     d(run.rounds),
-                    d(m.weight(&run.output) > 0.0),
+                    d(m.weight(run.config().expect("sampling run")) > 0.0),
                 ]);
             }
             Err(e) => {
@@ -407,7 +479,14 @@ fn e6e() {
         "E6e  Hypergraph matchings below λ_c(r,Δ) (Corollary 5.3)",
         "Random 3-uniform hypergraphs, λ = 0.5·λ_c(3,Δ). Output must be a \
          set of pairwise disjoint hyperedges.",
-        &["n(V)", "m(edges)", "lambda", "rounds", "matching", "success /5"],
+        &[
+            "n(V)",
+            "m(edges)",
+            "lambda",
+            "rounds",
+            "matching",
+            "success /5",
+        ],
     );
     for &(nv, m) in &[(9usize, 6usize), (12, 8)] {
         let h = lds_graph::Hypergraph::random_uniform(nv, m, 3, &mut StdRng::seed_from_u64(11));
@@ -419,17 +498,30 @@ fn e6e() {
         let mut rounds = 0usize;
         let mut valid = true;
         let mut successes = 0usize;
-        for seed in 0..5u64 {
-            match apps::sample_hypergraph_matching(&h, lambda, eps, seed) {
-                Ok(out) => {
-                    rounds = rounds.max(out.run.rounds);
-                    valid &= inst.is_matching(&out.hyperedges);
-                    successes += out.run.succeeded as usize;
+        match Engine::builder()
+            .model(ModelSpec::HypergraphMatching { lambda })
+            .hypergraph(h.clone())
+            .epsilon(eps)
+            .build()
+            .and_then(|e| e.run_batch(Task::SampleExact, &[0, 1, 2, 3, 4]))
+        {
+            Ok(outs) => {
+                for out in outs {
+                    rounds = rounds.max(out.rounds);
+                    valid &= inst.is_matching(out.hyperedges().expect("decode"));
+                    successes += out.succeeded as usize;
                 }
-                Err(_) => valid = false,
             }
+            Err(_) => valid = false,
         }
-        t.row(vec![d(nv), d(m), f(lambda), d(rounds), d(valid), d(successes)]);
+        t.row(vec![
+            d(nv),
+            d(m),
+            f(lambda),
+            d(rounds),
+            d(valid),
+            d(successes),
+        ]);
     }
     t.print();
 }
@@ -485,7 +577,13 @@ fn e8() {
          distance > t carries gap. Below λ_c the required radius is finite \
          and grows toward the threshold; above λ_c no finite radius works \
          (the Ω(diam) conclusion). Tree Δ=4, depth 300, target ε=0.01.",
-        &["lambda/lc", "limiting gap", "error floor", "min radius(e=0.01)", "regime"],
+        &[
+            "lambda/lc",
+            "limiting gap",
+            "error floor",
+            "min radius(e=0.01)",
+            "regime",
+        ],
     );
     let lc = complexity::hardcore_uniqueness_threshold(4);
     for &ratio in &[0.4f64, 0.7, 0.9, 1.2, 2.0, 3.0] {
@@ -513,7 +611,14 @@ fn s1() {
         "S1  Network decomposition quality (Lemma 3.1 substrate)",
         "Linial–Saks on various graphs: colors and weak radius must track \
          O(log n); failures must be rare (5 seeds each).",
-        &["graph", "n", "colors(max)", "weak radius(max)", "cap 8log+8", "failures"],
+        &[
+            "graph",
+            "n",
+            "colors(max)",
+            "weak radius(max)",
+            "cap 8log+8",
+            "failures",
+        ],
     );
     let cases: Vec<(&str, lds_graph::Graph)> = vec![
         ("torus5", workloads::torus(5)),

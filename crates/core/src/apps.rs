@@ -15,39 +15,28 @@
 //! distance-preserving duality the paper invokes); colorings use the
 //! boosted enumeration oracle (tractable on bounded-ball workloads; see
 //! DESIGN.md §6).
+//!
+//! **Deprecated.** These free functions are legacy shims kept for source
+//! compatibility; new code should go through the unified `lds-engine`
+//! facade (`Engine::builder().model(ModelSpec::…)`), which validates the
+//! regime once at build time, owns oracle dispatch, and serves all task
+//! kinds (exact/approximate sampling, inference, counting) with batching
+//! support. Regime validation is shared with the facade via
+//! [`crate::regime`].
 
 use lds_gibbs::models::matching::MatchingInstance;
 use lds_gibbs::models::two_spin::{self, TwoSpinParams};
 use lds_gibbs::models::{coloring, hardcore, hypergraph_matching::HypergraphMatchingInstance};
 use lds_gibbs::Config;
-use lds_graph::{EdgeId, Graph, Hypergraph, HyperEdgeId};
+use lds_graph::{EdgeId, Graph, HyperEdgeId, Hypergraph};
 use lds_localnet::{Instance, Network};
 use lds_oracle::{BoostedOracle, DecayRate, EnumerationOracle, TwoSpinSawOracle};
 
 use crate::complexity;
 use crate::jvv::{self, JvvStats};
+use crate::regime;
 
-/// Error: the requested parameters are outside the regime for which the
-/// paper proves polylogarithmic sampling.
-#[derive(Clone, Debug, PartialEq)]
-pub struct OutOfRegime {
-    /// The decay rate that was computed (`≥ 1` means no contraction).
-    pub rate: f64,
-    /// Human-readable description of the violated condition.
-    pub condition: String,
-}
-
-impl std::fmt::Display for OutOfRegime {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "parameters outside the uniqueness regime ({}; rate {:.3})",
-            self.condition, self.rate
-        )
-    }
-}
-
-impl std::error::Error for OutOfRegime {}
+pub use crate::regime::{OutOfRegime, RegimeCheck};
 
 /// Result of one application run.
 #[derive(Clone, Debug)]
@@ -84,7 +73,10 @@ fn run_two_spin_jvv(
         rounds: run.rounds,
         bound_rounds,
         rate,
-        stats: JvvStats { locality: stats.locality, ..stats },
+        stats: JvvStats {
+            locality: stats.locality,
+            ..stats
+        },
     }
     .tap_check(n)
 }
@@ -106,16 +98,12 @@ impl AppRun {
 /// # Errors
 ///
 /// Returns [`OutOfRegime`] if `λ ≥ λ_c(Δ)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the lds-engine facade: Engine::builder().model(ModelSpec::Hardcore { lambda })"
+)]
 pub fn sample_hardcore(g: &Graph, lambda: f64, eps: f64, seed: u64) -> Result<AppRun, OutOfRegime> {
-    let delta = g.max_degree();
-    let lc = complexity::hardcore_uniqueness_threshold(delta);
-    if lambda >= lc {
-        return Err(OutOfRegime {
-            rate: complexity::hardcore_decay_rate(lambda, delta),
-            condition: format!("need λ < λ_c({delta}) = {lc:.4}, got {lambda}"),
-        });
-    }
-    let rate = complexity::hardcore_decay_rate(lambda, delta);
+    let rate = regime::hardcore(g, lambda)?.rate;
     let bound = complexity::ssm_rounds_bound(rate.min(0.95), g.node_count(), 1.0);
     Ok(run_two_spin_jvv(
         hardcore::model(g, lambda),
@@ -137,6 +125,10 @@ pub fn sample_hardcore(g: &Graph, lambda: f64, eps: f64, seed: u64) -> Result<Ap
 ///
 /// Returns [`OutOfRegime`] if `rate ≥ 1` or the parameters are not
 /// antiferromagnetic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the lds-engine facade: Engine::builder().model(ModelSpec::TwoSpin { .. })"
+)]
 pub fn sample_two_spin(
     g: &Graph,
     params: TwoSpinParams,
@@ -144,18 +136,7 @@ pub fn sample_two_spin(
     eps: f64,
     seed: u64,
 ) -> Result<AppRun, OutOfRegime> {
-    if !params.is_antiferromagnetic() {
-        return Err(OutOfRegime {
-            rate,
-            condition: "need βγ < 1 (antiferromagnetic)".into(),
-        });
-    }
-    if rate >= 1.0 {
-        return Err(OutOfRegime {
-            rate,
-            condition: "need decay rate < 1 (uniqueness)".into(),
-        });
-    }
+    let rate = regime::two_spin(params, rate)?.rate;
     let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
     Ok(run_two_spin_jvv(
         two_spin::model(g, params),
@@ -180,10 +161,14 @@ pub struct MatchingRun {
 /// Exact sampling of weighted matchings (monomer–dimer) — works for
 /// **all** `λ` and `Δ` (Corollary 5.3, first bullet; `O(√Δ·log³ n)`
 /// rounds): matchings always exhibit SSM at rate `1 − Ω(1/√(λΔ))`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the lds-engine facade: Engine::builder().model(ModelSpec::Matching { lambda })"
+)]
 pub fn sample_matching(g: &Graph, lambda: f64, eps: f64, seed: u64) -> MatchingRun {
     let inst = MatchingInstance::new(g, lambda);
     let delta = g.max_degree();
-    let rate = complexity::matching_decay_rate(lambda, delta);
+    let rate = regime::matching(g, lambda).rate;
     let bound = complexity::matchings_rounds_bound(delta, g.node_count(), 1.0);
     let run = run_two_spin_jvv(
         inst.model().clone(),
@@ -213,30 +198,28 @@ pub struct HypergraphMatchingRun {
 /// # Errors
 ///
 /// Returns [`OutOfRegime`] if `λ ≥ λ_c(r, Δ)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the lds-engine facade: Engine::builder().model(ModelSpec::HypergraphMatching { lambda })"
+)]
 pub fn sample_hypergraph_matching(
     h: &Hypergraph,
     lambda: f64,
     eps: f64,
     seed: u64,
 ) -> Result<HypergraphMatchingRun, OutOfRegime> {
-    let r = h.rank().max(2);
-    let delta = h.max_degree();
-    let lc = complexity::hypergraph_matching_threshold(r, delta.max(3));
-    if lambda >= lc {
-        return Err(OutOfRegime {
-            rate: 1.0,
-            condition: format!("need λ < λ_c({r}, {delta}) = {lc:.4}, got {lambda}"),
-        });
-    }
+    // cheap threshold check first: reject before paying for the
+    // intersection graph
+    regime::hypergraph_matching_threshold(h, lambda)?;
     let inst = HypergraphMatchingInstance::new(h, lambda);
     // the intersection graph is where the hardcore dynamics run
     let ig_delta = inst.intersection_graph().max_degree();
-    let rate = complexity::hardcore_decay_rate(lambda, ig_delta.max(2));
+    let rate = regime::hypergraph_matching(h, lambda, ig_delta)?.rate;
     let bound = complexity::log3_rounds_bound(h.node_count(), 1.0);
     let run = run_two_spin_jvv(
         inst.model().clone(),
         TwoSpinParams::hardcore(lambda),
-        rate.min(0.95),
+        rate,
         eps,
         seed,
         bound,
@@ -257,24 +240,12 @@ pub fn sample_hypergraph_matching(
 /// # Errors
 ///
 /// Returns [`OutOfRegime`] if the graph has a triangle or `q ≤ α*·Δ`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the lds-engine facade: Engine::builder().model(ModelSpec::Coloring { q })"
+)]
 pub fn sample_coloring(g: &Graph, q: usize, eps: f64, seed: u64) -> Result<AppRun, OutOfRegime> {
-    if !g.is_triangle_free() {
-        return Err(OutOfRegime {
-            rate: 1.0,
-            condition: "graph has a triangle".into(),
-        });
-    }
-    let delta = g.max_degree();
-    let rate = complexity::coloring_decay_rate(q, delta.max(1));
-    if rate >= 1.0 {
-        return Err(OutOfRegime {
-            rate,
-            condition: format!(
-                "need q > α*·Δ ≈ {:.3}, got q = {q}",
-                complexity::alpha_star() * delta as f64
-            ),
-        });
-    }
+    let rate = regime::coloring(g, q)?.rate;
     let model = coloring::model(g, q);
     let n = model.node_count();
     let net = Network::new(Instance::unconditioned(model), seed);
@@ -293,6 +264,7 @@ pub fn sample_coloring(g: &Graph, q: usize, eps: f64, seed: u64) -> Result<AppRu
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use lds_gibbs::{distribution, PartialConfig};
@@ -339,7 +311,7 @@ mod tests {
         let ip = lds_gibbs::models::ising::IsingParams::new(-0.2, 0.0);
         let rate = complexity::ising_decay_rate(-0.2, 2);
         let run = sample_two_spin(&g, ip.to_two_spin(), rate, 0.05, 3).unwrap();
-        assert!(run.succeeded || !run.succeeded); // runs to completion
+        assert_eq!(run.output.len(), 8); // runs to completion
         let m = two_spin::model(&g, ip.to_two_spin());
         assert!(m.weight(&run.output) > 0.0);
     }
@@ -379,11 +351,8 @@ mod tests {
         // small graph: conditioned-on-success outputs follow μ exactly
         let g = generators::path(4); // 3 edges, line graph = path of 3
         let inst = MatchingInstance::new(&g, 1.0);
-        let exact = distribution::joint_distribution(
-            inst.model(),
-            &PartialConfig::empty(3),
-        )
-        .unwrap();
+        let exact =
+            distribution::joint_distribution(inst.model(), &PartialConfig::empty(3)).unwrap();
         let mut samples = Vec::new();
         for seed in 0..8000u64 {
             let out = sample_matching(&g, 1.0, 0.02, seed);

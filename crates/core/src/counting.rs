@@ -158,10 +158,10 @@ mod tests {
     #[test]
     fn cycle_independent_sets_are_lucas() {
         let lucas = [2u64, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123, 199];
-        for n in 3..=10usize {
+        for (n, &expect) in lucas.iter().enumerate().take(11).skip(3) {
             let g = generators::cycle(n);
             let est = count_independent_sets(&g, 1.0, 1e-4).unwrap();
-            let expect = lucas[n] as f64;
+            let expect = expect as f64;
             assert!(
                 (est.log_z - expect.ln()).abs() <= est.log_error_bound + 1e-6,
                 "C{n}: ln Ẑ = {} vs ln {}",
@@ -210,8 +210,7 @@ mod tests {
         let g = generators::cycle(5);
         let model = coloring::model(&g, 3);
         let oracle = BoostedOracle::new(EnumerationOracle::new(DecayRate::new(0.4, 2.0)));
-        let est =
-            log_partition_function(&model, &PartialConfig::empty(5), &oracle, 1e-5).unwrap();
+        let est = log_partition_function(&model, &PartialConfig::empty(5), &oracle, 1e-5).unwrap();
         assert!(
             (est.log_z - 30.0f64.ln()).abs() <= est.log_error_bound + 1e-6,
             "ln Ẑ = {} vs ln 30",

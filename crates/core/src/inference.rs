@@ -63,9 +63,9 @@ impl<O: InferenceOracle> LocalAlgorithm for LocalInference<'_, O> {
 
     fn run_at(&self, view: &View) -> NodeOutcome<Vec<f64>> {
         let t = view.radius().saturating_sub(1);
-        let marginal =
-            self.oracle
-                .marginal(view.model(), view.pinning(), view.center_local(), t);
+        let marginal = self
+            .oracle
+            .marginal(view.model(), view.pinning(), view.center_local(), t);
         NodeOutcome::ok(marginal)
     }
 }
@@ -87,10 +87,7 @@ mod tests {
         let m = hardcore::model(&g, 1.0);
         let inst = Instance::unconditioned(m.clone());
         let net = Network::new(inst, 1);
-        let oracle = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.0),
-            DecayRate::new(0.5, 2.0),
-        );
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
         let algo = LocalInference::new(&oracle, 0.05);
         let run = run_local(&net, &algo);
         assert!(run.succeeded());
@@ -129,10 +126,7 @@ mod tests {
         // Proposition 3.3: inference needs no randomness and no failures.
         let g = generators::cycle(8);
         let net = Network::new(Instance::unconditioned(hardcore::model(&g, 1.2)), 9);
-        let oracle = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.2),
-            DecayRate::new(0.5, 2.0),
-        );
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.2), DecayRate::new(0.5, 2.0));
         let algo = LocalInference::new(&oracle, 0.1);
         let a = run_local(&net, &algo);
         let b = run_local(&net, &algo);
@@ -143,10 +137,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_delta() {
-        let oracle = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.0),
-            DecayRate::new(0.5, 2.0),
-        );
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
         let _ = LocalInference::new(&oracle, 0.0);
     }
 }

@@ -150,9 +150,7 @@ impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
                 None => {
                     // defensive fallback: greedy local feasibility
                     let fallback = (0..q).find(|&c| {
-                        model.is_locally_feasible(
-                            &sigma0_pin.with_pin(v, Value::from_index(c)),
-                        )
+                        model.is_locally_feasible(&sigma0_pin.with_pin(v, Value::from_index(c)))
                     });
                     match fallback {
                         Some(c) => sigma0_pin.pin(v, Value::from_index(c)),
@@ -222,8 +220,7 @@ impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
                 if prev_val == new_val && prefix_prev == prefix_new {
                     continue;
                 }
-                let mu_prev =
-                    self.oracle.marginal_mul(model, &prefix_prev, vj, self.eps);
+                let mu_prev = self.oracle.marginal_mul(model, &prefix_prev, vj, self.eps);
                 let mu_new = self.oracle.marginal_mul(model, &prefix_new, vj, self.eps);
                 let num = mu_prev[prev_val.index()];
                 let den = mu_new[new_val.index()];
@@ -440,11 +437,7 @@ mod tests {
             "success rate {success_rate}"
         );
         let emp = metrics::empirical_distribution(&accepted);
-        let exact = distribution::joint_distribution(
-            &model,
-            &PartialConfig::empty(n),
-        )
-        .unwrap();
+        let exact = distribution::joint_distribution(&model, &PartialConfig::empty(n)).unwrap();
         let tv = metrics::tv_distance_joint(&emp, &exact);
         assert!(tv < 0.05, "conditioned-on-success TV {tv}");
     }

@@ -18,34 +18,38 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use lds_core::sampler::SequentialSampler;
-//! use lds_gibbs::models::hardcore;
-//! use lds_gibbs::models::two_spin::TwoSpinParams;
-//! use lds_gibbs::PartialConfig;
-//! use lds_graph::generators;
-//! use lds_localnet::{scheduler, Instance, Network};
-//! use lds_oracle::{DecayRate, TwoSpinSawOracle};
+//! The reductions and samplers in this crate are generic plumbing; the
+//! recommended entry point is the `lds-engine` facade, which wires a
+//! model, its regime check, and the right oracle together at build time:
 //!
-//! let g = generators::cycle(12);
-//! let inst = Instance::unconditioned(hardcore::model(&g, 1.0));
-//! let net = Network::new(inst, 7);
-//! let oracle = TwoSpinSawOracle::new(
-//!     TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
-//! let sampler = SequentialSampler::new(&oracle, 0.05);
-//! let (run, _schedule) = scheduler::run_slocal_in_local(&net, &sampler, 0);
-//! assert_eq!(run.outputs.len(), 12);
 //! ```
+//! use lds_engine::{Engine, ModelSpec, Task};
+//! use lds_graph::generators;
+//!
+//! let engine = Engine::builder()
+//!     .model(ModelSpec::Hardcore { lambda: 1.0 })
+//!     .graph(generators::cycle(12))
+//!     .seed(7)
+//!     .build()
+//!     .expect("λ = 1 is below λ_c(2) = ∞");
+//! let run = engine.run(Task::SampleApprox).expect("valid task");
+//! assert_eq!(run.config().expect("sampling task").len(), 12);
+//! ```
+//!
+//! Direct use of the machinery (e.g. [`sampler::SequentialSampler`] over
+//! a hand-picked oracle) remains available for experiments that need to
+//! instrument individual passes; see the module docs below.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod baselines;
-pub mod counting;
 pub mod complexity;
+pub mod counting;
 pub mod inference;
 pub mod jvv;
+pub mod regime;
 pub mod sampler;
 pub mod sampling_to_inference;
 pub mod ssm_inference;

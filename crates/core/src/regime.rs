@@ -1,0 +1,354 @@
+//! Structured uniqueness-regime validation for the Corollary 5.3
+//! applications.
+//!
+//! Every application sampler is only proven correct (with
+//! polylogarithmic round complexity) inside a parameter regime — below
+//! the hardcore uniqueness threshold `λ_c(Δ)`, inside two-spin
+//! uniqueness, past the coloring constant `α*`, and so on. This module
+//! centralizes those checks so the deprecated [`crate::apps`] shims and
+//! the `lds-engine` facade validate parameters identically, and so every
+//! rejection reports *which* threshold was violated together with both
+//! the computed and the critical value.
+
+use lds_gibbs::models::ising::IsingParams;
+use lds_gibbs::models::two_spin::TwoSpinParams;
+use lds_graph::{Graph, Hypergraph};
+
+use crate::complexity;
+
+/// Error: the requested parameters are outside the regime for which the
+/// paper proves polylogarithmic sampling.
+///
+/// Carries the violated threshold in structured form: `computed` is the
+/// offending quantity as derived from the request, `critical` the value
+/// it must stay on the tractable side of, and `condition` names the
+/// comparison in words.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutOfRegime {
+    /// The decay rate that was computed (`≥ 1` means no contraction).
+    pub rate: f64,
+    /// Human-readable description of the violated condition.
+    pub condition: String,
+    /// The computed value of the checked quantity.
+    pub computed: f64,
+    /// The critical threshold the computed value crossed.
+    pub critical: f64,
+}
+
+impl std::fmt::Display for OutOfRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parameters outside the uniqueness regime ({}; computed {:.4} vs critical {:.4}; \
+             rate {:.3})",
+            self.condition, self.computed, self.critical, self.rate
+        )
+    }
+}
+
+impl std::error::Error for OutOfRegime {}
+
+/// A passed regime check: the decay rate to plan radii with, plus the
+/// threshold comparison that admitted the parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegimeCheck {
+    /// The SSM decay rate used for radius planning (`< 1`).
+    pub rate: f64,
+    /// The threshold comparison that was checked, in words.
+    pub condition: String,
+    /// The computed value of the checked quantity.
+    pub computed: f64,
+    /// The critical threshold it stayed below (or above, for colorings).
+    pub critical: f64,
+}
+
+/// Hardcore model: requires `λ < λ_c(Δ) = (Δ−1)^{Δ−1}/(Δ−2)^Δ`
+/// (Corollary 5.3, second bullet).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `λ ≥ λ_c(Δ)`.
+pub fn hardcore(g: &Graph, lambda: f64) -> Result<RegimeCheck, OutOfRegime> {
+    let delta = g.max_degree();
+    let lc = complexity::hardcore_uniqueness_threshold(delta);
+    let rate = complexity::hardcore_decay_rate(lambda, delta);
+    if lambda >= lc {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!("need λ < λ_c({delta}) = {lc:.4}, got λ = {lambda}"),
+            computed: lambda,
+            critical: lc,
+        });
+    }
+    Ok(RegimeCheck {
+        rate,
+        condition: format!("λ = {lambda} < λ_c({delta}) = {lc:.4}"),
+        computed: lambda,
+        critical: lc,
+    })
+}
+
+/// Matchings (monomer–dimer): in regime for **every** `λ` and `Δ`
+/// (Corollary 5.3, first bullet) — the check is infallible and only
+/// computes the decay rate.
+pub fn matching(g: &Graph, lambda: f64) -> RegimeCheck {
+    let delta = g.max_degree();
+    let rate = complexity::matching_decay_rate(lambda, delta);
+    RegimeCheck {
+        rate,
+        condition: format!("matchings mix at every λ (Δ = {delta}, λ = {lambda})"),
+        computed: rate,
+        critical: 1.0,
+    }
+}
+
+/// General antiferromagnetic two-spin system with a caller-supplied
+/// decay rate: requires `βγ < 1` and `rate < 1` (Corollary 5.3, fourth
+/// bullet).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if the parameters are not antiferromagnetic
+/// or the rate does not contract.
+pub fn two_spin(params: TwoSpinParams, rate: f64) -> Result<RegimeCheck, OutOfRegime> {
+    let bg = params.beta * params.gamma;
+    if !params.is_antiferromagnetic() {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!("need βγ < 1 (antiferromagnetic), got βγ = {bg:.4}"),
+            computed: bg,
+            critical: 1.0,
+        });
+    }
+    if rate >= 1.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!("need decay rate < 1 (uniqueness), got rate = {rate:.4}"),
+            computed: rate,
+            critical: 1.0,
+        });
+    }
+    Ok(RegimeCheck {
+        rate,
+        condition: format!("βγ = {bg:.4} < 1 and rate = {rate:.4} < 1"),
+        computed: rate,
+        critical: 1.0,
+    })
+}
+
+/// Antiferromagnetic Ising model: computes the exact tree contraction
+/// ratio and requires it below 1 (uniqueness: `e^{2|β|} < Δ/(Δ−2)`).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] outside uniqueness or for ferromagnetic `β`.
+pub fn ising(g: &Graph, params: IsingParams) -> Result<RegimeCheck, OutOfRegime> {
+    let delta = g.max_degree().max(2);
+    let rate = complexity::ising_decay_rate(params.beta, delta);
+    if params.beta > 0.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!("need β ≤ 0 (antiferromagnetic), got β = {}", params.beta),
+            computed: params.beta,
+            critical: 0.0,
+        });
+    }
+    if rate >= 1.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!(
+                "need contraction (Δ−1)·|1−e^{{2β}}|/(1+e^{{2β}}) < 1, got {rate:.4} (Δ = {delta})"
+            ),
+            computed: rate,
+            critical: 1.0,
+        });
+    }
+    Ok(RegimeCheck {
+        rate,
+        condition: format!("Ising contraction {rate:.4} < 1 (Δ = {delta})"),
+        computed: rate,
+        critical: 1.0,
+    })
+}
+
+/// Proper `q`-colorings: requires a triangle-free graph and
+/// `q > α*·Δ` with `α* ≈ 1.763` (Corollary 5.3, third bullet).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if the graph has a triangle or the palette is
+/// too small.
+pub fn coloring(g: &Graph, q: usize) -> Result<RegimeCheck, OutOfRegime> {
+    let delta = g.max_degree();
+    let critical = complexity::alpha_star() * delta as f64;
+    if !g.is_triangle_free() {
+        // count the triangles (rejection path only) so `computed` is a
+        // real quantity: triangles found vs the zero the regime allows
+        let triangles = count_triangles(g);
+        return Err(OutOfRegime {
+            rate: 1.0,
+            condition: format!("need a triangle-free graph, got {triangles} triangle(s)"),
+            computed: triangles as f64,
+            critical: 0.0,
+        });
+    }
+    let rate = complexity::coloring_decay_rate(q, delta.max(1));
+    if rate >= 1.0 {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!("need q > α*·Δ ≈ {critical:.3}, got q = {q}"),
+            computed: q as f64,
+            critical,
+        });
+    }
+    Ok(RegimeCheck {
+        rate,
+        condition: format!("q = {q} > α*·Δ ≈ {critical:.3}"),
+        computed: q as f64,
+        critical,
+    })
+}
+
+/// Counts triangles by checking, for each node, adjacent pairs among its
+/// higher-id neighbors. Only used on the rejection path.
+fn count_triangles(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for u in g.nodes() {
+        let higher: Vec<_> = g.neighbors(u).copied().filter(|&v| v > u).collect();
+        for (i, &v) in higher.iter().enumerate() {
+            for &w in &higher[i + 1..] {
+                if g.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The cheap half of the hypergraph matching check: `λ < λ_c(r, Δ)`
+/// needs only the rank and maximum degree, so callers can reject
+/// out-of-regime parameters **before** paying for the intersection
+/// graph.
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `λ ≥ λ_c(r, Δ)`.
+pub fn hypergraph_matching_threshold(h: &Hypergraph, lambda: f64) -> Result<f64, OutOfRegime> {
+    let r = h.rank().max(2);
+    let delta = h.max_degree();
+    let lc = complexity::hypergraph_matching_threshold(r, delta.max(3));
+    if lambda >= lc {
+        return Err(OutOfRegime {
+            rate: 1.0,
+            condition: format!("need λ < λ_c({r}, {delta}) = {lc:.4}, got λ = {lambda}"),
+            computed: lambda,
+            critical: lc,
+        });
+    }
+    Ok(lc)
+}
+
+/// Weighted hypergraph matchings: requires
+/// `λ < λ_c(r, Δ) = (Δ−1)^{Δ−1}/((r−1)(Δ−2)^Δ)` (Corollary 5.3, fifth
+/// bullet). On success the rate is the hardcore rate on the intersection
+/// graph, whose maximum degree the caller supplies via `ig_delta` (use
+/// [`hypergraph_matching_threshold`] first to reject without building
+/// the intersection graph).
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] if `λ ≥ λ_c(r, Δ)`.
+pub fn hypergraph_matching(
+    h: &Hypergraph,
+    lambda: f64,
+    ig_delta: usize,
+) -> Result<RegimeCheck, OutOfRegime> {
+    let r = h.rank().max(2);
+    let delta = h.max_degree();
+    let lc = hypergraph_matching_threshold(h, lambda)?;
+    let rate = complexity::hardcore_decay_rate(lambda, ig_delta.max(2));
+    Ok(RegimeCheck {
+        rate: rate.min(0.95),
+        condition: format!("λ = {lambda} < λ_c({r}, {delta}) = {lc:.4}"),
+        computed: lambda,
+        critical: lc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_graph::{generators, NodeId};
+
+    #[test]
+    fn hardcore_reports_computed_and_critical() {
+        let t = generators::torus(4, 4); // Δ = 4, λ_c = 27/16
+        let err = hardcore(&t, 2.0).unwrap_err();
+        assert_eq!(err.computed, 2.0);
+        assert!((err.critical - 27.0 / 16.0).abs() < 1e-12);
+        assert!(err.rate > 1.0);
+        let msg = err.to_string();
+        assert!(msg.contains("uniqueness"), "{msg}");
+        assert!(msg.contains("2.0000") && msg.contains("1.6875"), "{msg}");
+    }
+
+    #[test]
+    fn matching_is_infallible() {
+        let g = generators::complete(6);
+        for lambda in [0.1, 1.0, 50.0] {
+            let check = matching(&g, lambda);
+            assert!(check.rate < 1.0, "λ = {lambda}: rate {}", check.rate);
+        }
+    }
+
+    #[test]
+    fn two_spin_rejects_ferromagnets_with_values() {
+        let err = two_spin(TwoSpinParams::new(2.0, 3.0, 1.0), 0.5).unwrap_err();
+        assert_eq!(err.computed, 6.0);
+        assert_eq!(err.critical, 1.0);
+        let err2 = two_spin(TwoSpinParams::hardcore(1.0), 1.2).unwrap_err();
+        assert_eq!(err2.computed, 1.2);
+    }
+
+    #[test]
+    fn ising_uniqueness_window() {
+        let t = generators::torus(4, 4); // Δ = 4: unique iff e^{2|β|} < 2
+        assert!(ising(&t, IsingParams::new(-0.3, 0.0)).is_ok());
+        let err = ising(&t, IsingParams::new(-0.4, 0.0)).unwrap_err();
+        assert!(err.computed > 1.0);
+        assert!(
+            ising(&t, IsingParams::new(0.2, 0.0)).is_err(),
+            "ferromagnet"
+        );
+    }
+
+    #[test]
+    fn coloring_thresholds() {
+        let g = generators::cycle(7);
+        assert!(coloring(&g, 4).is_ok());
+        let k3 = generators::complete(3);
+        let err = coloring(&k3, 9).unwrap_err();
+        assert!(err.condition.contains("triangle"));
+        let t = generators::torus(4, 4); // triangle-free, Δ = 4, α*Δ ≈ 7.05
+        let err = coloring(&t, 6).unwrap_err();
+        assert_eq!(err.computed, 6.0);
+        assert!((err.critical - complexity::alpha_star() * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypergraph_matching_threshold_check() {
+        let h = Hypergraph::new(
+            6,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3), NodeId(4)],
+                vec![NodeId(4), NodeId(5), NodeId(0)],
+            ],
+        );
+        assert!(hypergraph_matching(&h, 0.3, 2).is_ok());
+        let err = hypergraph_matching(&h, 100.0, 2).unwrap_err();
+        assert_eq!(err.computed, 100.0);
+        assert!(err.critical < 100.0);
+    }
+}

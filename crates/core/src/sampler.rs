@@ -112,10 +112,7 @@ mod tests {
 
     fn hc_net(n: usize, lambda: f64, seed: u64) -> Network {
         let g = generators::cycle(n);
-        Network::new(
-            Instance::unconditioned(hardcore::model(&g, lambda)),
-            seed,
-        )
+        Network::new(Instance::unconditioned(hardcore::model(&g, lambda)), seed)
     }
 
     fn saw(lambda: f64) -> TwoSpinSawOracle {
@@ -155,8 +152,7 @@ mod tests {
             samples.push(Config::from_values(run.outputs));
         }
         let emp = metrics::empirical_distribution(&samples);
-        let exact =
-            distribution::joint_distribution(&model, &PartialConfig::empty(n)).unwrap();
+        let exact = distribution::joint_distribution(&model, &PartialConfig::empty(n)).unwrap();
         let tv = metrics::tv_distance_joint(&emp, &exact);
         // sampling noise ~ sqrt(#configs / trials) ≈ 0.02
         assert!(tv < 0.05, "empirical TV {tv}");
@@ -173,7 +169,8 @@ mod tests {
         for seed in 0..10 {
             let net = Network::new(inst.clone(), seed);
             let sampler = SequentialSampler::new(&oracle, 0.1);
-            let run = sampler.run_sequential(&net, &ordering::identity(net.instance().model().graph()));
+            let run =
+                sampler.run_sequential(&net, &ordering::identity(net.instance().model().graph()));
             assert_eq!(run.outputs[0], Value(1));
             assert_eq!(run.outputs[1], Value(0), "neighbor of pinned-occupied");
         }
@@ -223,10 +220,7 @@ mod tests {
             if a.outputs[3] == Value(1) {
                 occ_id += 1;
             }
-            let net2 = Network::new(
-                Instance::unconditioned(model.clone()),
-                seed + 1_000_000,
-            );
+            let net2 = Network::new(Instance::unconditioned(model.clone()), seed + 1_000_000);
             let b = sampler.run_sequential(&net2, &ordering::reverse(&g));
             if b.outputs[3] == Value(1) {
                 occ_rev += 1;
@@ -234,7 +228,10 @@ mod tests {
         }
         let f1 = occ_id as f64 / trials as f64;
         let f2 = occ_rev as f64 / trials as f64;
-        assert!((f1 - f2).abs() < 0.02, "order changed marginals: {f1} vs {f2}");
+        assert!(
+            (f1 - f2).abs() < 0.02,
+            "order changed marginals: {f1} vs {f2}"
+        );
     }
 
     use lds_gibbs::distribution;

@@ -67,7 +67,7 @@ pub fn marginals_by_sampling<O: InferenceOracle>(
     let mut failures = 0usize;
     let mut rounds = 0usize;
     for rep in 0..repetitions {
-        let run_net = Network::new(net.instance().clone(), seed0.wrapping_add(rep as u64));
+        let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep as u64));
         let sampler = SequentialSampler::new(oracle, delta);
         let (run, _schedule) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
         rounds = rounds.max(run.rounds);
@@ -107,7 +107,7 @@ pub fn node_marginal_by_sampling<O: InferenceOracle>(
     let q = net.instance().model().alphabet_size();
     let mut counts = vec![0usize; q];
     for rep in 0..repetitions {
-        let run_net = Network::new(net.instance().clone(), seed0.wrapping_add(rep as u64));
+        let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep as u64));
         let sampler = SequentialSampler::new(oracle, delta);
         let (run, _) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
         counts[run.outputs[v.index()].index()] += 1;
@@ -147,10 +147,7 @@ mod tests {
         let g = generators::cycle(6);
         let model = hardcore::model(&g, 1.0);
         let net = Network::new(Instance::unconditioned(model.clone()), 5);
-        let oracle = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.0),
-            DecayRate::new(0.5, 2.0),
-        );
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
         let result = marginals_by_sampling(&net, &oracle, 0.02, 4000, 100);
         let tau = PartialConfig::empty(6);
         for v in g.nodes() {
@@ -172,13 +169,9 @@ mod tests {
         let g = generators::cycle(6);
         let model = hardcore::model(&g, 1.5);
         let net = Network::new(Instance::unconditioned(model.clone()), 5);
-        let oracle = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.5),
-            DecayRate::new(0.5, 2.0),
-        );
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.5), DecayRate::new(0.5, 2.0));
         let mu = node_marginal_by_sampling(&net, &oracle, 0.05, NodeId(2), 3000, 7);
-        let exact =
-            distribution::marginal(&model, &PartialConfig::empty(6), NodeId(2)).unwrap();
+        let exact = distribution::marginal(&model, &PartialConfig::empty(6), NodeId(2)).unwrap();
         assert!(metrics::tv_distance(&exact, &mu) < 0.06);
     }
 

@@ -86,16 +86,15 @@ mod tests {
         tau.pin(NodeId(8), Value(1));
         let d = traversal::bfs_distances(&g, NodeId(0))[8] as usize;
         let t = d - 1; // strictly less than the distance
-        let saw = TwoSpinSawOracle::new(
-            TwoSpinParams::hardcore(1.2),
-            DecayRate::new(0.5, 2.0),
-        );
+        let saw = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.2), DecayRate::new(0.5, 2.0));
         let diff = verify_indistinguishability(&saw, &m, &sigma, &tau, NodeId(0), t);
-        assert_eq!(diff, 0.0, "radius-{t} oracle distinguished distance-{d} pins");
+        assert_eq!(
+            diff, 0.0,
+            "radius-{t} oracle distinguished distance-{d} pins"
+        );
         let enumo = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
         // enumeration oracle peeks t + ℓ; stay one step shorter
-        let diff2 =
-            verify_indistinguishability(&enumo, &m, &sigma, &tau, NodeId(0), t - 1);
+        let diff2 = verify_indistinguishability(&enumo, &m, &sigma, &tau, NodeId(0), t - 1);
         assert_eq!(diff2, 0.0);
     }
 

@@ -3,8 +3,8 @@
 use lds_core::counting;
 use lds_core::jvv::LocalJvv;
 use lds_core::sampler::SequentialSampler;
-use lds_gibbs::models::two_spin::TwoSpinParams;
 use lds_gibbs::models::hardcore;
+use lds_gibbs::models::two_spin::TwoSpinParams;
 use lds_gibbs::{distribution, Config, PartialConfig, Value};
 use lds_graph::{generators, ordering, Graph, NodeId};
 use lds_localnet::slocal::SlocalAlgorithm;

@@ -1,0 +1,826 @@
+//! The engine: build-time validation, oracle dispatch, task serving.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lds_core::sampling_to_inference::{self, SampledMarginals};
+use lds_core::{complexity, counting, jvv, regime, sampler};
+use lds_gibbs::models::hypergraph_matching::HypergraphMatchingInstance;
+use lds_gibbs::models::ising::IsingParams;
+use lds_gibbs::models::matching::MatchingInstance;
+use lds_gibbs::models::two_spin::TwoSpinParams;
+use lds_gibbs::models::{coloring, hardcore, two_spin};
+use lds_gibbs::{Config, PartialConfig};
+use lds_graph::{Graph, Hypergraph};
+use lds_localnet::{Instance, Network};
+use lds_oracle::{DecayRate, TwoSpinSawOracle};
+
+use crate::error::EngineError;
+use crate::oracle::{BoostedEnumeration, OracleHandle, TaskOracle};
+use crate::report::{RunReport, SampleDecode, Task, TaskOutput};
+use crate::spec::{ModelSpec, Topology};
+
+/// How a carrier-graph configuration maps back to the input topology.
+enum Decoder {
+    /// Vertex models: the configuration is the answer.
+    Spins,
+    /// Matchings: decode line-graph occupation to base edges.
+    Matching(MatchingInstance),
+    /// Hypergraph matchings: decode intersection-graph occupation to
+    /// hyperedges.
+    Hypergraph(HypergraphMatchingInstance),
+}
+
+/// The unified facade: one validated instance serving every task kind.
+///
+/// Built once via [`Engine::builder`] — model construction, oracle
+/// selection, and the uniqueness-regime check all happen in
+/// [`EngineBuilder::build`] — then serves any number of typed
+/// [`Task`]s, each returning a uniform [`RunReport`].
+///
+/// # Example
+///
+/// ```
+/// use lds_engine::{Engine, ModelSpec, Task};
+/// use lds_graph::generators;
+///
+/// let engine = Engine::builder()
+///     .model(ModelSpec::Hardcore { lambda: 1.0 })
+///     .graph(generators::cycle(10))
+///     .epsilon(0.001)
+///     .seed(42)
+///     .build()
+///     .expect("λ = 1 is below λ_c(2) = ∞");
+/// let report = engine.run(Task::SampleExact).unwrap();
+/// assert_eq!(report.config().unwrap().len(), 10);
+/// ```
+pub struct Engine {
+    spec: ModelSpec,
+    topology: Topology,
+    instance: Arc<Instance>,
+    oracle: Box<dyn TaskOracle>,
+    decoder: Decoder,
+    rate: f64,
+    bound_rounds: f64,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+#[derive(Default)]
+pub struct EngineBuilder {
+    spec: Option<ModelSpec>,
+    topology: Option<Topology>,
+    pinning: Option<PartialConfig>,
+    epsilon: Option<f64>,
+    delta: Option<f64>,
+    seed: u64,
+}
+
+impl EngineBuilder {
+    /// Sets the model specification (required).
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Sets the network graph (required for every model except
+    /// hypergraph matchings).
+    pub fn graph(mut self, g: Graph) -> Self {
+        self.topology = Some(Topology::Graph(g));
+        self
+    }
+
+    /// Sets the network hypergraph (required for hypergraph matchings).
+    pub fn hypergraph(mut self, h: Hypergraph) -> Self {
+        self.topology = Some(Topology::Hypergraph(h));
+        self
+    }
+
+    /// Sets a pinning `τ` over the **carrier** node set (for edge
+    /// models: the line/intersection graph). Defaults to the empty
+    /// pinning.
+    pub fn pinning(mut self, tau: PartialConfig) -> Self {
+        self.pinning = Some(tau);
+        self
+    }
+
+    /// Sets the multiplicative oracle error `ε` used by exact sampling,
+    /// inference, and counting (default `0.01`; the paper's exact-
+    /// sampling instantiation is `ε = 1/n³`).
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = Some(eps);
+        self
+    }
+
+    /// Sets the total-variation error `δ` of approximate sampling
+    /// (default `0.05`).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Sets the default network seed used by [`Engine::run`]
+    /// (default `0`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the request and builds the engine: checks the
+    /// uniqueness regime once, constructs the Gibbs model on its
+    /// carrier graph, selects the oracle, and verifies the pinning.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MissingModel`] / [`EngineError::MissingTopology`]
+    /// on an incomplete request, [`EngineError::InvalidParameter`] on a
+    /// bad `ε`/`δ` or a non-finite/out-of-domain model parameter,
+    /// [`EngineError::OutOfRegime`] outside the proven regime,
+    /// [`EngineError::PinningLength`] /
+    /// [`EngineError::InfeasiblePinning`] on a bad pinning.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let spec = self.spec.ok_or(EngineError::MissingModel)?;
+        let epsilon = self.epsilon.unwrap_or(0.01);
+        let delta = self.delta.unwrap_or(0.05);
+        for (name, x) in [("epsilon", epsilon), ("delta", delta)] {
+            if !(x.is_finite() && x > 0.0) {
+                return Err(EngineError::InvalidParameter {
+                    name,
+                    message: format!("must be a positive finite error target, got {x}"),
+                });
+            }
+        }
+        validate_spec_parameters(&spec)?;
+        let topology = self.topology.ok_or(EngineError::MissingTopology {
+            expected: spec.expected_topology(),
+        })?;
+
+        // regime check + model/oracle/decoder construction, per spec
+        let (model, oracle, decoder, rate, bound_rounds): (_, Box<dyn TaskOracle>, _, f64, f64) =
+            match &spec {
+                ModelSpec::Hardcore { lambda } => {
+                    let g = require_graph(&topology)?;
+                    let rate = regime::hardcore(g, *lambda)?.rate;
+                    let bound = complexity::ssm_rounds_bound(rate.min(0.95), g.node_count(), 1.0);
+                    (
+                        hardcore::model(g, *lambda),
+                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Decoder::Spins,
+                        rate,
+                        bound,
+                    )
+                }
+                ModelSpec::Matching { lambda } => {
+                    let g = require_graph(&topology)?;
+                    let rate = regime::matching(g, *lambda).rate;
+                    let bound =
+                        complexity::matchings_rounds_bound(g.max_degree(), g.node_count(), 1.0);
+                    let inst = MatchingInstance::new(g, *lambda);
+                    (
+                        inst.model().clone(),
+                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Decoder::Matching(inst),
+                        rate,
+                        bound,
+                    )
+                }
+                ModelSpec::Ising { beta, field } => {
+                    let g = require_graph(&topology)?;
+                    let params = IsingParams::new(*beta, *field);
+                    let rate = regime::ising(g, params)?.rate;
+                    let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
+                    (
+                        two_spin::model(g, params.to_two_spin()),
+                        Box::new(saw_oracle(params.to_two_spin(), rate)),
+                        Decoder::Spins,
+                        rate,
+                        bound,
+                    )
+                }
+                ModelSpec::TwoSpin {
+                    beta,
+                    gamma,
+                    lambda,
+                    rate,
+                } => {
+                    let g = require_graph(&topology)?;
+                    let params = TwoSpinParams::new(*beta, *gamma, *lambda);
+                    let rate = regime::two_spin(params, *rate)?.rate;
+                    let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
+                    (
+                        two_spin::model(g, params),
+                        Box::new(saw_oracle(params, rate)),
+                        Decoder::Spins,
+                        rate,
+                        bound,
+                    )
+                }
+                ModelSpec::Coloring { q } => {
+                    let g = require_graph(&topology)?;
+                    let rate = regime::coloring(g, *q)?.rate;
+                    let bound = complexity::log3_rounds_bound(g.node_count(), 1.0);
+                    (
+                        coloring::model(g, *q),
+                        Box::new(BoostedEnumeration::new(DecayRate::new(
+                            rate.clamp(1e-6, 0.95),
+                            2.0,
+                        ))),
+                        Decoder::Spins,
+                        rate,
+                        bound,
+                    )
+                }
+                ModelSpec::HypergraphMatching { lambda } => {
+                    let h = topology.hypergraph().ok_or(EngineError::MissingTopology {
+                        expected: "hypergraph",
+                    })?;
+                    // cheap threshold check first: reject before paying
+                    // for the intersection graph
+                    regime::hypergraph_matching_threshold(h, *lambda)?;
+                    let inst = HypergraphMatchingInstance::new(h, *lambda);
+                    let ig_delta = inst.intersection_graph().max_degree();
+                    let rate = regime::hypergraph_matching(h, *lambda, ig_delta)?.rate;
+                    let bound = complexity::log3_rounds_bound(h.node_count(), 1.0);
+                    (
+                        inst.model().clone(),
+                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Decoder::Hypergraph(inst),
+                        rate,
+                        bound,
+                    )
+                }
+            };
+
+        let carrier_n = model.node_count();
+        let pinning = match self.pinning {
+            Some(tau) => {
+                if tau.len() != carrier_n {
+                    return Err(EngineError::PinningLength {
+                        expected: carrier_n,
+                        got: tau.len(),
+                    });
+                }
+                tau
+            }
+            None => PartialConfig::empty(carrier_n),
+        };
+        let instance = Arc::new(Instance::new(model, pinning)?);
+
+        Ok(Engine {
+            spec,
+            topology,
+            instance,
+            oracle,
+            decoder,
+            rate,
+            bound_rounds,
+            epsilon,
+            delta,
+            seed: self.seed,
+        })
+    }
+}
+
+fn require_graph(topology: &Topology) -> Result<&Graph, EngineError> {
+    topology
+        .graph()
+        .ok_or(EngineError::MissingTopology { expected: "graph" })
+}
+
+/// Rejects non-finite or out-of-domain model parameters *before* they
+/// reach the regime checks (NaN slips through `>=` comparisons) or the
+/// model constructors (which `assert!` and would panic a documented-
+/// fallible builder).
+fn validate_spec_parameters(spec: &ModelSpec) -> Result<(), EngineError> {
+    let finite_nonneg = |name: &'static str, x: f64| {
+        if x.is_finite() && x >= 0.0 {
+            Ok(())
+        } else {
+            Err(EngineError::InvalidParameter {
+                name,
+                message: format!("must be finite and nonnegative, got {x}"),
+            })
+        }
+    };
+    let finite = |name: &'static str, x: f64| {
+        if x.is_finite() {
+            Ok(())
+        } else {
+            Err(EngineError::InvalidParameter {
+                name,
+                message: format!("must be finite, got {x}"),
+            })
+        }
+    };
+    match *spec {
+        ModelSpec::Hardcore { lambda }
+        | ModelSpec::Matching { lambda }
+        | ModelSpec::HypergraphMatching { lambda } => finite_nonneg("lambda", lambda),
+        ModelSpec::Ising { beta, field } => {
+            finite("beta", beta)?;
+            finite("field", field)
+        }
+        ModelSpec::TwoSpin {
+            beta,
+            gamma,
+            lambda,
+            rate,
+        } => {
+            finite_nonneg("beta", beta)?;
+            finite_nonneg("gamma", gamma)?;
+            finite_nonneg("lambda", lambda)?;
+            finite_nonneg("rate", rate)
+        }
+        ModelSpec::Coloring { q } => {
+            if q == 0 {
+                return Err(EngineError::InvalidParameter {
+                    name: "q",
+                    message: "need at least one color".into(),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+fn saw_oracle(params: TwoSpinParams, rate: f64) -> TwoSpinSawOracle {
+    TwoSpinSawOracle::new(params, DecayRate::new(rate.clamp(1e-6, 0.95), 2.0))
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("spec", &self.spec)
+            .field("carrier_nodes", &self.instance.node_count())
+            .field("oracle", &self.oracle.name())
+            .field("rate", &self.rate)
+            .field("epsilon", &self.epsilon)
+            .field("delta", &self.delta)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The model specification this engine was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The input topology (base graph or hypergraph).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The validated instance `(G, x, τ)` on the carrier graph.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of carrier-graph nodes (for edge models: line/intersection
+    /// graph nodes, not base nodes).
+    pub fn carrier_node_count(&self) -> usize {
+        self.instance.node_count()
+    }
+
+    /// The SSM decay rate used for radius planning.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The paper's round bound for this model with constant 1.
+    pub fn bound_rounds(&self) -> f64 {
+        self.bound_rounds
+    }
+
+    /// The multiplicative oracle error `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The approximate-sampling error `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The default seed used by [`Engine::run`].
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dispatched oracle's name.
+    pub fn oracle_name(&self) -> &str {
+        self.oracle.name()
+    }
+
+    /// Serves one task with the engine's default seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_with_seed`].
+    pub fn run(&self, task: Task) -> Result<RunReport, EngineError> {
+        self.run_with_seed(task, self.seed)
+    }
+
+    /// Serves one task with an explicit network seed.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidTask`] for an out-of-range vertex/value in
+    /// [`Task::Infer`]; [`EngineError::CountFailed`] if the counting
+    /// anchor construction fails.
+    pub fn run_with_seed(&self, task: Task, seed: u64) -> Result<RunReport, EngineError> {
+        let start = Instant::now();
+        let model = self.instance.model();
+        let handle = OracleHandle(self.oracle.as_ref());
+        let (output, succeeded, rounds, stats) = match task {
+            Task::SampleExact => {
+                let net = Network::from_shared(Arc::clone(&self.instance), seed);
+                let (run, _schedule, stats) =
+                    jvv::sample_exact_local(&net, &handle, self.epsilon, 0);
+                let config = Config::from_values(run.outputs.clone());
+                let decoded = self.decode(&config);
+                (
+                    TaskOutput::Sample { config, decoded },
+                    run.succeeded(),
+                    run.rounds,
+                    Some(stats),
+                )
+            }
+            Task::SampleApprox => {
+                let net = Network::from_shared(Arc::clone(&self.instance), seed);
+                let (run, _schedule) = sampler::sample_local(&net, &handle, self.delta, 0);
+                let config = Config::from_values(run.outputs.clone());
+                let decoded = self.decode(&config);
+                (
+                    TaskOutput::Sample { config, decoded },
+                    run.succeeded(),
+                    run.rounds,
+                    None,
+                )
+            }
+            Task::Infer { vertex, value } => {
+                if vertex.index() >= model.node_count() {
+                    return Err(EngineError::InvalidTask {
+                        message: format!(
+                            "vertex {vertex} outside the carrier node set (n = {})",
+                            model.node_count()
+                        ),
+                    });
+                }
+                if value.index() >= model.alphabet_size() {
+                    return Err(EngineError::InvalidTask {
+                        message: format!(
+                            "value {} outside the alphabet (q = {})",
+                            value.index(),
+                            model.alphabet_size()
+                        ),
+                    });
+                }
+                let distribution =
+                    self.oracle
+                        .marginal_mul(model, self.instance.pinning(), vertex, self.epsilon);
+                let probability = distribution[value.index()];
+                let rounds = self.oracle.radius_mul(model, self.epsilon);
+                (
+                    TaskOutput::Marginal {
+                        distribution,
+                        probability,
+                    },
+                    true,
+                    rounds,
+                    None,
+                )
+            }
+            Task::Count => {
+                let est = counting::log_partition_function(
+                    model,
+                    self.instance.pinning(),
+                    &handle,
+                    self.epsilon,
+                )
+                .ok_or(EngineError::CountFailed)?;
+                let rounds = self.oracle.radius_mul(model, self.epsilon);
+                (
+                    TaskOutput::Count {
+                        log_z: est.log_z,
+                        log_error_bound: est.log_error_bound,
+                    },
+                    true,
+                    rounds,
+                    None,
+                )
+            }
+        };
+        Ok(RunReport {
+            task,
+            seed,
+            output,
+            succeeded,
+            rounds,
+            bound_rounds: self.bound_rounds,
+            rate: self.rate,
+            stats,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Serves the same task once per seed — the single hot path for
+    /// multi-seed throughput workloads (and the seam future batching /
+    /// parallel backends plug into).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with the first task error (seeds already executed are
+    /// discarded).
+    pub fn run_batch(&self, task: Task, seeds: &[u64]) -> Result<Vec<RunReport>, EngineError> {
+        seeds
+            .iter()
+            .map(|&seed| self.run_with_seed(task, seed))
+            .collect()
+    }
+
+    /// The sampling ⟹ inference reduction (Theorem 3.4): reconstructs
+    /// every carrier node's marginal from `repetitions` executions of
+    /// the approximate sampler (seeds `seed0, seed0+1, …`). The
+    /// per-node error is bounded by `δ + ε₀ + ` Monte Carlo noise,
+    /// where `ε₀` is the reported failure rate.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] if `repetitions` is zero.
+    pub fn marginals_by_sampling(
+        &self,
+        repetitions: usize,
+        seed0: u64,
+    ) -> Result<SampledMarginals, EngineError> {
+        if repetitions == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "repetitions",
+                message: "need at least one sampler execution".into(),
+            });
+        }
+        let net = Network::from_shared(Arc::clone(&self.instance), seed0);
+        let handle = OracleHandle(self.oracle.as_ref());
+        Ok(sampling_to_inference::marginals_by_sampling(
+            &net,
+            &handle,
+            self.delta,
+            repetitions,
+            seed0,
+        ))
+    }
+
+    fn decode(&self, config: &Config) -> SampleDecode {
+        match &self.decoder {
+            Decoder::Spins => SampleDecode::Spins,
+            Decoder::Matching(inst) => SampleDecode::Matching(inst.edges_of(config)),
+            Decoder::Hypergraph(inst) => {
+                SampleDecode::HypergraphMatching(inst.hyperedges_of(config))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::Value;
+    use lds_graph::{generators, NodeId};
+
+    #[test]
+    fn builder_requires_model_and_topology() {
+        assert_eq!(
+            Engine::builder().build().unwrap_err(),
+            EngineError::MissingModel
+        );
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::MissingTopology { expected: "graph" });
+        // hypergraph model fed a graph
+        let err = Engine::builder()
+            .model(ModelSpec::HypergraphMatching { lambda: 0.2 })
+            .graph(generators::cycle(4))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::MissingTopology {
+                expected: "hypergraph"
+            }
+        );
+    }
+
+    #[test]
+    fn builder_validates_parameters_once() {
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(6))
+            .epsilon(0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "epsilon",
+                ..
+            }
+        ));
+
+        // regime violation is a build-time error, with values attached
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 2.0 })
+            .graph(generators::torus(4, 4))
+            .build()
+            .unwrap_err();
+        match err {
+            EngineError::OutOfRegime(oor) => {
+                assert_eq!(oor.computed, 2.0);
+                assert!((oor.critical - 27.0 / 16.0).abs() < 1e-12);
+            }
+            other => panic!("expected OutOfRegime, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinning_is_validated_against_the_carrier() {
+        let g = generators::cycle(6);
+        // wrong length
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(g.clone())
+            .pinning(PartialConfig::empty(5))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::PinningLength {
+                expected: 6,
+                got: 5
+            }
+        );
+        // infeasible: two adjacent occupied vertices
+        let mut tau = PartialConfig::empty(6);
+        tau.pin(NodeId(0), Value(1));
+        tau.pin(NodeId(1), Value(1));
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(g.clone())
+            .pinning(tau)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::InfeasiblePinning);
+        // matching carrier is the line graph: cycle(6) has 6 edges too,
+        // but a 7-long pinning must be rejected against carrier size
+        let err = Engine::builder()
+            .model(ModelSpec::Matching { lambda: 1.0 })
+            .graph(g)
+            .pinning(PartialConfig::empty(7))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::PinningLength {
+                expected: 6,
+                got: 7
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_nonfinite_model_parameters_without_panicking() {
+        // NaN slips through `>=` regime comparisons and negative weights
+        // panic the model constructors — both must surface as errors.
+        for lambda in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = Engine::builder()
+                .model(ModelSpec::Hardcore { lambda })
+                .graph(generators::cycle(6))
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, EngineError::InvalidParameter { name: "lambda", .. }),
+                "λ = {lambda}: {err:?}"
+            );
+        }
+        let err = Engine::builder()
+            .model(ModelSpec::Ising {
+                beta: f64::NAN,
+                field: 0.0,
+            })
+            .graph(generators::cycle(6))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter { name: "beta", .. }
+        ));
+        let err = Engine::builder()
+            .model(ModelSpec::TwoSpin {
+                beta: -0.2,
+                gamma: 0.5,
+                lambda: 1.0,
+                rate: 0.5,
+            })
+            .graph(generators::cycle(6))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter { name: "beta", .. }
+        ));
+        let err = Engine::builder()
+            .model(ModelSpec::Coloring { q: 0 })
+            .graph(generators::cycle(6))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter { name: "q", .. }
+        ));
+    }
+
+    #[test]
+    fn marginals_by_sampling_reconstructs_and_validates() {
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(6))
+            .delta(0.02)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.marginals_by_sampling(0, 1).unwrap_err(),
+            EngineError::InvalidParameter {
+                name: "repetitions",
+                ..
+            }
+        ));
+        let rec = engine.marginals_by_sampling(400, 1).unwrap();
+        assert_eq!(rec.marginals.len(), 6);
+        assert_eq!(rec.repetitions, 400);
+        for mu in &rec.marginals {
+            let total: f64 = mu.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        }
+    }
+
+    #[test]
+    fn infer_validates_vertex_and_value() {
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(6))
+            .build()
+            .unwrap();
+        let err = engine
+            .run(Task::Infer {
+                vertex: NodeId(9),
+                value: Value(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidTask { .. }));
+        let err = engine
+            .run(Task::Infer {
+                vertex: NodeId(0),
+                value: Value(5),
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidTask { .. }));
+    }
+
+    #[test]
+    fn pinned_engine_respects_pins_in_every_task() {
+        let mut tau = PartialConfig::empty(8);
+        tau.pin(NodeId(2), Value(1));
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(8))
+            .pinning(tau)
+            .epsilon(0.005)
+            .build()
+            .unwrap();
+        for seed in 0..5 {
+            let report = engine.run_with_seed(Task::SampleExact, seed).unwrap();
+            let config = report.config().unwrap();
+            assert_eq!(config.get(NodeId(2)), Value(1));
+            assert_eq!(config.get(NodeId(1)), Value(0));
+        }
+        let inf = engine
+            .run(Task::Infer {
+                vertex: NodeId(2),
+                value: Value(1),
+            })
+            .unwrap();
+        match inf.output {
+            TaskOutput::Marginal { probability, .. } => assert_eq!(probability, 1.0),
+            ref other => panic!("expected marginal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The unified error type of the engine facade.
+
+use lds_core::regime::OutOfRegime;
+use lds_localnet::InfeasiblePinning;
+
+/// Everything that can go wrong building an [`crate::Engine`] or
+/// serving a [`crate::Task`] through it.
+///
+/// Absorbs the per-module error types of the lower layers
+/// ([`OutOfRegime`], [`InfeasiblePinning`]) into one structured enum so
+/// callers match on a single type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The requested parameters are outside the regime for which the
+    /// paper proves polylogarithmic sampling. Carries the violated
+    /// threshold with both the computed and the critical value.
+    OutOfRegime(OutOfRegime),
+    /// The supplied pinning violates a fully pinned constraint.
+    InfeasiblePinning,
+    /// The supplied pinning does not cover the model's carrier node set
+    /// (for edge models the carrier is the line/intersection graph).
+    PinningLength {
+        /// Carrier node count the pinning must have.
+        expected: usize,
+        /// Length of the pinning that was supplied.
+        got: usize,
+    },
+    /// The builder was finalized without a [`crate::ModelSpec`].
+    MissingModel,
+    /// The builder was finalized without the topology kind the model
+    /// needs (`graph` for the vertex/edge models, `hypergraph` for
+    /// hypergraph matchings).
+    MissingTopology {
+        /// The topology kind the chosen model requires.
+        expected: &'static str,
+    },
+    /// A numeric configuration value is invalid (e.g. `ε ≤ 0`).
+    InvalidParameter {
+        /// Name of the offending builder parameter.
+        name: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A task referenced a vertex or value outside the instance.
+    InvalidTask {
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// The chain-rule count estimator failed to build a feasible anchor
+    /// (cannot happen for locally admissible models with an honest
+    /// oracle).
+    CountFailed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfRegime(e) => write!(f, "{e}"),
+            EngineError::InfeasiblePinning => {
+                write!(f, "pinning violates a fully pinned constraint")
+            }
+            EngineError::PinningLength { expected, got } => write!(
+                f,
+                "pinning must cover the carrier node set: expected length {expected}, got {got}"
+            ),
+            EngineError::MissingModel => write!(f, "engine builder needs a ModelSpec"),
+            EngineError::MissingTopology { expected } => {
+                write!(f, "this model requires a {expected} topology")
+            }
+            EngineError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            EngineError::InvalidTask { message } => write!(f, "invalid task: {message}"),
+            EngineError::CountFailed => {
+                write!(f, "count estimator failed to build a feasible anchor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::OutOfRegime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OutOfRegime> for EngineError {
+    fn from(e: OutOfRegime) -> Self {
+        EngineError::OutOfRegime(e)
+    }
+}
+
+impl From<InfeasiblePinning> for EngineError {
+    fn from(_: InfeasiblePinning) -> Self {
+        EngineError::InfeasiblePinning
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let oor = OutOfRegime {
+            rate: 1.3,
+            condition: "need λ < λ_c(4) = 1.6875, got λ = 2".into(),
+            computed: 2.0,
+            critical: 1.6875,
+        };
+        let e = EngineError::from(oor.clone());
+        assert!(e.to_string().contains("uniqueness"));
+        assert!(e.source().is_some(), "OutOfRegime must be the source");
+        assert_eq!(e, EngineError::OutOfRegime(oor));
+
+        let p = EngineError::from(InfeasiblePinning);
+        assert_eq!(p, EngineError::InfeasiblePinning);
+        assert!(p.source().is_none());
+        assert!(EngineError::PinningLength {
+            expected: 5,
+            got: 3
+        }
+        .to_string()
+        .contains("expected length 5"));
+    }
+}

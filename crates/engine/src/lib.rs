@@ -1,0 +1,78 @@
+//! Unified `Engine` facade: one typed request/response API for
+//! sampling, inference, and counting.
+//!
+//! Feng & Yin (PODC 2018) prove that approximate inference, approximate
+//! sampling, exact sampling, and counting form **one equivalence class**
+//! of local computations. This crate mirrors that unification at the API
+//! level: a single [`Engine`], built once per instance, serves all four
+//! problems as typed [`Task`]s and answers with a uniform [`RunReport`].
+//!
+//! * [`ModelSpec`] — the five Corollary 5.3 applications (hardcore,
+//!   matchings, Ising / general antiferromagnetic two-spin, triangle-free
+//!   colorings, hypergraph matchings) as a typed request.
+//! * [`EngineBuilder`] — `Engine::builder().model(…).graph(…).build()`:
+//!   validates the uniqueness regime **once** at build time, constructs
+//!   the Gibbs model on its carrier graph (line/intersection graph for
+//!   the edge models), verifies the pinning, and selects the oracle.
+//! * [`TaskOracle`] — object-safe union of the additive and
+//!   multiplicative oracle contracts; the engine owns one
+//!   `Box<dyn TaskOracle>` (Weitz SAW tree for two-spin-shaped models,
+//!   boosted enumeration for colorings) shared by every task.
+//! * [`Task`] — `SampleExact` (local-JVV, Theorem 4.2), `SampleApprox`
+//!   (Theorem 3.2 under the LOCAL scheduler), `Infer` (multiplicative
+//!   marginals), `Count` (chain rule).
+//! * [`RunReport`] — output configuration (with matching decode), round
+//!   count, the paper's round bound, decay rate, JVV statistics, wall
+//!   time.
+//! * [`Engine::run_batch`] — multi-seed execution through one hot path,
+//!   the seam future batching/scheduling backends plug into.
+//! * [`EngineError`] — one structured error enum absorbing
+//!   `OutOfRegime` (with computed vs. critical threshold values),
+//!   `InfeasiblePinning`, and builder/task misuse.
+//!
+//! # Example: every task kind through one engine
+//!
+//! ```
+//! use lds_engine::{Engine, ModelSpec, Task};
+//! use lds_gibbs::Value;
+//! use lds_graph::{generators, NodeId};
+//!
+//! let engine = Engine::builder()
+//!     .model(ModelSpec::Hardcore { lambda: 1.0 })
+//!     .graph(generators::cycle(8))
+//!     .epsilon(0.01)
+//!     .build()
+//!     .unwrap();
+//!
+//! let exact = engine.run(Task::SampleExact).unwrap();
+//! assert_eq!(exact.config().unwrap().len(), 8);
+//!
+//! let marginal = engine
+//!     .run(Task::Infer { vertex: NodeId(0), value: Value(1) })
+//!     .unwrap();
+//! let mu = marginal.marginal().unwrap();
+//! assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//!
+//! let count = engine.run(Task::Count).unwrap();
+//! assert!(count.log_z().unwrap() > 0.0); // ln(#weighted ind. sets)
+//!
+//! // multi-seed batch: one hot path for throughput workloads
+//! let reports = engine.run_batch(Task::SampleExact, &[1, 2, 3]).unwrap();
+//! assert_eq!(reports.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod oracle;
+mod report;
+mod spec;
+
+pub use engine::{Engine, EngineBuilder};
+pub use error::EngineError;
+pub use lds_core::sampling_to_inference::SampledMarginals;
+pub use oracle::{BoostedEnumeration, TaskOracle};
+pub use report::{RunReport, SampleDecode, Task, TaskOutput};
+pub use spec::{ModelSpec, Topology};

@@ -1,0 +1,188 @@
+//! Unified oracle dispatch: one object-safe interface over both oracle
+//! guarantees.
+//!
+//! The paper's algorithms consume two different oracle contracts:
+//! additive (total-variation) inference for the Theorem 3.2 sampler, and
+//! multiplicative inference for local-JVV (Theorem 4.2) and chain-rule
+//! counting. The per-model free functions in `lds_core::apps` wire a
+//! concrete oracle type into each call site; the engine instead erases
+//! the choice behind the object-safe [`TaskOracle`] trait, picked once
+//! at build time (SAW tree for two-spin-shaped models, boosted
+//! enumeration for colorings) and shared by every task.
+
+use lds_gibbs::{GibbsModel, PartialConfig};
+use lds_graph::NodeId;
+use lds_oracle::{
+    BoostedOracle, DecayRate, EnumerationOracle, InferenceOracle, MultiplicativeInference,
+};
+
+/// Object-safe union of the additive and multiplicative oracle
+/// interfaces; the engine stores a `Box<dyn TaskOracle>`.
+pub trait TaskOracle {
+    /// Short oracle name for reports.
+    fn name(&self) -> &str;
+
+    /// Radius for additive (total-variation) error `δ`.
+    fn radius_add(&self, n: usize, delta: f64) -> usize;
+
+    /// Marginal estimate with additive guarantee, using information
+    /// within radius `t`.
+    fn marginal_add(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        t: usize,
+    ) -> Vec<f64>;
+
+    /// Radius for multiplicative error `ε` on `model`.
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize;
+
+    /// Marginal estimate with multiplicative guarantee `ε`.
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64>;
+}
+
+impl<O: InferenceOracle + MultiplicativeInference> TaskOracle for O {
+    fn name(&self) -> &str {
+        MultiplicativeInference::name(self)
+    }
+
+    fn radius_add(&self, n: usize, delta: f64) -> usize {
+        InferenceOracle::radius(self, n, delta)
+    }
+
+    fn marginal_add(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        t: usize,
+    ) -> Vec<f64> {
+        InferenceOracle::marginal(self, model, pinning, v, t)
+    }
+
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize {
+        MultiplicativeInference::radius_mul(self, model, eps)
+    }
+
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64> {
+        MultiplicativeInference::marginal_mul(self, model, pinning, v, eps)
+    }
+}
+
+/// Borrowed view of a [`TaskOracle`] implementing the concrete oracle
+/// traits, so the engine can hand its trait object to the generic
+/// algorithms in `lds_core` (`jvv::sample_exact_local`,
+/// `sampler::sample_local`, `counting::log_partition_function`).
+pub(crate) struct OracleHandle<'a>(pub &'a dyn TaskOracle);
+
+impl InferenceOracle for OracleHandle<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn radius(&self, n: usize, delta: f64) -> usize {
+        self.0.radius_add(n, delta)
+    }
+
+    fn marginal(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        t: usize,
+    ) -> Vec<f64> {
+        self.0.marginal_add(model, pinning, v, t)
+    }
+}
+
+impl MultiplicativeInference for OracleHandle<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize {
+        self.0.radius_mul(model, eps)
+    }
+
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64> {
+        self.0.marginal_mul(model, pinning, v, eps)
+    }
+}
+
+/// The coloring oracle: plain enumeration (Theorem 5.1) for additive
+/// queries, the boosted wrapper (Lemma 4.1) for multiplicative ones —
+/// packaged as one type so it fits behind [`TaskOracle`].
+#[derive(Clone, Debug)]
+pub struct BoostedEnumeration {
+    additive: EnumerationOracle,
+    multiplicative: BoostedOracle<EnumerationOracle>,
+}
+
+impl BoostedEnumeration {
+    /// Builds both halves from one decay rate.
+    pub fn new(rate: DecayRate) -> Self {
+        BoostedEnumeration {
+            additive: EnumerationOracle::new(rate),
+            multiplicative: BoostedOracle::new(EnumerationOracle::new(rate)),
+        }
+    }
+}
+
+impl InferenceOracle for BoostedEnumeration {
+    fn name(&self) -> &str {
+        "boosted-enumeration"
+    }
+
+    fn radius(&self, n: usize, delta: f64) -> usize {
+        self.additive.radius(n, delta)
+    }
+
+    fn marginal(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        t: usize,
+    ) -> Vec<f64> {
+        self.additive.marginal(model, pinning, v, t)
+    }
+}
+
+impl MultiplicativeInference for BoostedEnumeration {
+    fn name(&self) -> &str {
+        "boosted-enumeration"
+    }
+
+    fn radius_mul(&self, model: &GibbsModel, eps: f64) -> usize {
+        self.multiplicative.radius_mul(model, eps)
+    }
+
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<f64> {
+        self.multiplicative.marginal_mul(model, pinning, v, eps)
+    }
+}

@@ -1,0 +1,150 @@
+//! Typed tasks and the uniform response type.
+
+use std::time::Duration;
+
+use lds_core::jvv::JvvStats;
+use lds_gibbs::{Config, Value};
+use lds_graph::{EdgeId, HyperEdgeId, NodeId};
+
+/// One request against a built [`crate::Engine`].
+///
+/// The four task kinds are exactly the paper's equivalence class of
+/// local computations: exact sampling (Theorem 4.2), approximate
+/// sampling (Theorem 3.2), approximate inference (Section 2 /
+/// Theorem 5.1), and counting (chain rule).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Task {
+    /// Draw one exact sample via `local-JVV` (Theorem 4.2). Exactness is
+    /// conditional on [`RunReport::succeeded`].
+    SampleExact,
+    /// Draw one approximate sample (total-variation error `δ`) via the
+    /// Theorem 3.2 chain-rule sampler under the LOCAL scheduler.
+    SampleApprox,
+    /// Estimate the conditional marginal `μ^τ_v` and report the
+    /// probability of `value` at `vertex` (multiplicative error `ε`).
+    Infer {
+        /// The carrier-graph vertex to infer at.
+        vertex: NodeId,
+        /// The spin/color whose probability to report.
+        value: Value,
+    },
+    /// Estimate `ln Z^τ` by the chain rule over a multiplicative oracle.
+    Count,
+}
+
+/// Decoded form of a sampled configuration, for models whose carrier
+/// graph is not the input topology.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleDecode {
+    /// The configuration itself is the answer (vertex models).
+    Spins,
+    /// Line-graph configuration decoded to base-graph matching edges.
+    Matching(Vec<EdgeId>),
+    /// Intersection-graph configuration decoded to hyperedges.
+    HypergraphMatching(Vec<HyperEdgeId>),
+}
+
+/// The task-specific payload of a [`RunReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskOutput {
+    /// A sampled configuration on the carrier graph plus its decoding.
+    Sample {
+        /// The configuration (indexes carrier-graph nodes).
+        config: Config,
+        /// Model-specific decoding of `config`.
+        decoded: SampleDecode,
+    },
+    /// An estimated marginal distribution at one vertex.
+    Marginal {
+        /// The full length-`q` probability vector.
+        distribution: Vec<f64>,
+        /// The probability of the requested value.
+        probability: f64,
+    },
+    /// A partition-function estimate.
+    Count {
+        /// The estimate of `ln Z^τ`.
+        log_z: f64,
+        /// Guaranteed bound on `|ln Ẑ − ln Z|`: free nodes × ε.
+        log_error_bound: f64,
+    },
+}
+
+/// The uniform response of every engine task.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The task that produced this report.
+    pub task: Task,
+    /// The seed this execution ran with.
+    pub seed: u64,
+    /// The task-specific output.
+    pub output: TaskOutput,
+    /// Whether every node succeeded (for [`Task::SampleExact`],
+    /// exactness of the output distribution is conditional on this).
+    pub succeeded: bool,
+    /// Simulated LOCAL rounds (for sampling tasks: the scheduler's
+    /// round count; for inference/counting: the gather radius).
+    pub rounds: usize,
+    /// The paper's round bound for this model evaluated with constant 1.
+    pub bound_rounds: f64,
+    /// The SSM decay rate used for radius planning.
+    pub rate: f64,
+    /// JVV execution statistics (exact sampling only).
+    pub stats: Option<JvvStats>,
+    /// Wall-clock time of the execution.
+    pub wall_time: Duration,
+}
+
+impl RunReport {
+    /// The sampled configuration, if this was a sampling task.
+    pub fn config(&self) -> Option<&Config> {
+        match &self.output {
+            TaskOutput::Sample { config, .. } => Some(config),
+            _ => None,
+        }
+    }
+
+    /// The decoded matching edges, if this was a matching sample.
+    pub fn matching_edges(&self) -> Option<&[EdgeId]> {
+        match &self.output {
+            TaskOutput::Sample {
+                decoded: SampleDecode::Matching(edges),
+                ..
+            } => Some(edges),
+            _ => None,
+        }
+    }
+
+    /// The decoded hyperedges, if this was a hypergraph matching sample.
+    pub fn hyperedges(&self) -> Option<&[HyperEdgeId]> {
+        match &self.output {
+            TaskOutput::Sample {
+                decoded: SampleDecode::HypergraphMatching(edges),
+                ..
+            } => Some(edges),
+            _ => None,
+        }
+    }
+
+    /// The estimated marginal distribution, if this was an inference
+    /// task.
+    pub fn marginal(&self) -> Option<&[f64]> {
+        match &self.output {
+            TaskOutput::Marginal { distribution, .. } => Some(distribution),
+            _ => None,
+        }
+    }
+
+    /// The `ln Z` estimate, if this was a counting task.
+    pub fn log_z(&self) -> Option<f64> {
+        match &self.output {
+            TaskOutput::Count { log_z, .. } => Some(*log_z),
+            _ => None,
+        }
+    }
+
+    /// The rejection acceptance product, if this was an exact sample.
+    pub fn acceptance(&self) -> Option<f64> {
+        self.stats.as_ref().map(|s| s.acceptance_product)
+    }
+}

@@ -1,0 +1,109 @@
+//! Typed model specifications: the request half of the facade.
+
+use lds_graph::{Graph, Hypergraph};
+
+/// One of the paper's Corollary 5.3 applications, as a typed request.
+///
+/// The engine turns a `ModelSpec` plus a [`Topology`] into a validated
+/// instance at build time: the uniqueness-regime check runs **once**,
+/// in [`crate::Engine::builder`]'s `build()`, not per task.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelSpec {
+    /// Weighted independent sets at fugacity `λ`; requires
+    /// `λ < λ_c(Δ)` (second bullet).
+    Hardcore {
+        /// Vertex fugacity.
+        lambda: f64,
+    },
+    /// Weighted matchings (monomer–dimer) at edge weight `λ`; in regime
+    /// for every `λ` and `Δ` (first bullet). Runs on the line graph.
+    Matching {
+        /// Edge activity.
+        lambda: f64,
+    },
+    /// Antiferromagnetic Ising with coupling `β ≤ 0` and external field
+    /// `h`; requires tree uniqueness `e^{2|β|} < Δ/(Δ−2)` (fourth
+    /// bullet, specialized).
+    Ising {
+        /// Inverse-temperature coupling (negative = antiferromagnetic).
+        beta: f64,
+        /// External field.
+        field: f64,
+    },
+    /// General antiferromagnetic two-spin system `(β, γ, λ)` with a
+    /// caller-supplied SSM decay rate; requires `βγ < 1` and
+    /// `rate < 1` (fourth bullet).
+    TwoSpin {
+        /// Weight of a `0–0` edge.
+        beta: f64,
+        /// Weight of a `1–1` edge.
+        gamma: f64,
+        /// Vertex activity of value `1`.
+        lambda: f64,
+        /// SSM decay rate for radius planning (exact rates for
+        /// hardcore/Ising are in `lds_core::complexity`).
+        rate: f64,
+    },
+    /// Proper `q`-colorings of triangle-free graphs; requires
+    /// `q > α*·Δ`, `α* ≈ 1.763` (third bullet).
+    Coloring {
+        /// Number of colors.
+        q: usize,
+    },
+    /// Weighted hypergraph matchings at activity `λ`; requires
+    /// `λ < λ_c(r, Δ)` (fifth bullet). Runs on the intersection graph
+    /// and needs a [`Topology::Hypergraph`].
+    HypergraphMatching {
+        /// Hyperedge activity.
+        lambda: f64,
+    },
+}
+
+impl ModelSpec {
+    /// Short model name for reports and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::Hardcore { .. } => "hardcore",
+            ModelSpec::Matching { .. } => "matching",
+            ModelSpec::Ising { .. } => "ising",
+            ModelSpec::TwoSpin { .. } => "two-spin",
+            ModelSpec::Coloring { .. } => "coloring",
+            ModelSpec::HypergraphMatching { .. } => "hypergraph-matching",
+        }
+    }
+
+    /// The topology kind this model runs on.
+    pub fn expected_topology(&self) -> &'static str {
+        match self {
+            ModelSpec::HypergraphMatching { .. } => "hypergraph",
+            _ => "graph",
+        }
+    }
+}
+
+/// The network substrate a model runs on.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// A simple undirected graph (all vertex and edge models).
+    Graph(Graph),
+    /// A hypergraph (hypergraph matchings).
+    Hypergraph(Hypergraph),
+}
+
+impl Topology {
+    /// The graph, if this is a graph topology.
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            Topology::Graph(g) => Some(g),
+            Topology::Hypergraph(_) => None,
+        }
+    }
+
+    /// The hypergraph, if this is a hypergraph topology.
+    pub fn hypergraph(&self) -> Option<&Hypergraph> {
+        match self {
+            Topology::Graph(_) => None,
+            Topology::Hypergraph(h) => Some(h),
+        }
+    }
+}

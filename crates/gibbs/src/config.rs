@@ -210,7 +210,8 @@ impl PartialConfig {
         self.values
             .iter()
             .enumerate()
-            .filter_map(|(i, v)| v.is_none().then(|| NodeId::from_index(i)))
+            .filter(|(_, v)| v.is_none())
+            .map(|(i, _)| NodeId::from_index(i))
     }
 
     /// Returns `true` if every node is pinned.

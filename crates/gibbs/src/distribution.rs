@@ -74,9 +74,7 @@ pub fn enumerate_feasible(
                 for &fi in model.factors_completed_at(v) {
                     let f = &model.factors()[fi];
                     w *= f
-                        .eval_partial(|s| {
-                            (s.index() <= depth).then(|| values[s.index()])
-                        })
+                        .eval_partial(|s| (s.index() <= depth).then(|| values[s.index()]))
                         .expect("factor complete at this depth");
                     if w == 0.0 {
                         break;
@@ -111,7 +109,13 @@ pub fn feasible_count(model: &GibbsModel, pinning: &PartialConfig) -> usize {
 /// witness.
 pub fn is_feasible(model: &GibbsModel, pinning: &PartialConfig) -> bool {
     // enumerate but bail on first hit via an early-exit search
-    exists_feasible_rec(model, pinning, 0, &mut vec![Value(0); model.node_count()], 1.0)
+    exists_feasible_rec(
+        model,
+        pinning,
+        0,
+        &mut vec![Value(0); model.node_count()],
+        1.0,
+    )
 }
 
 fn exists_feasible_rec(
@@ -344,7 +348,7 @@ mod tests {
             *counts.entry(format!("{c:?}")).or_insert(0usize) += 1;
         }
         assert_eq!(counts.len(), 7);
-        for (_, &c) in &counts {
+        for &c in counts.values() {
             let freq = c as f64 / trials as f64;
             assert!((freq - 1.0 / 7.0).abs() < 0.01, "freq={freq}");
         }

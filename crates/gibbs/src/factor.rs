@@ -122,7 +122,7 @@ impl Factor {
 
     /// Returns `true` if the factor is hard (takes the value 0 somewhere).
     pub fn is_hard(&self) -> bool {
-        self.table.iter().any(|&x| x == 0.0)
+        self.table.contains(&0.0)
     }
 
     /// Remaps scope node ids through `f` (used when restricting a model to

@@ -200,8 +200,7 @@ mod tests {
         let g = generators::path(3);
         let m = hardcore::model(&g, 5.0);
         let c = PartialConfig::empty(3);
-        let viol =
-            conditional_independence_violation(&m, &[NodeId(0)], &[NodeId(2)], &c).unwrap();
+        let viol = conditional_independence_violation(&m, &[NodeId(0)], &[NodeId(2)], &c).unwrap();
         assert!(viol > 1e-3, "expected correlation, got {viol}");
     }
 
@@ -213,8 +212,6 @@ mod tests {
         c.pin(NodeId(1), Value(1));
         // pin neighbor 0 occupied too -> infeasible base
         c.pin(NodeId(0), Value(1));
-        assert!(
-            conditional_independence_violation(&m, &[], &[NodeId(2)], &c).is_none()
-        );
+        assert!(conditional_independence_violation(&m, &[], &[NodeId(2)], &c).is_none());
     }
 }

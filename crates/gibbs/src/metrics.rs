@@ -35,7 +35,11 @@ pub fn tv_distance(mu: &[f64], nu: &[f64]) -> f64 {
 ///
 /// Panics if the vectors have different lengths.
 pub fn multiplicative_err(mu: &[f64], hat: &[f64]) -> f64 {
-    assert_eq!(mu.len(), hat.len(), "distributions over different alphabets");
+    assert_eq!(
+        mu.len(),
+        hat.len(),
+        "distributions over different alphabets"
+    );
     let mut worst = 0.0f64;
     for (&a, &b) in mu.iter().zip(hat.iter()) {
         let e = if a == 0.0 && b == 0.0 {

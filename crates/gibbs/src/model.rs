@@ -126,7 +126,10 @@ impl GibbsModel {
     pub fn weight(&self, config: &Config) -> f64 {
         self.factors
             .iter()
-            .map(|f| f.eval_partial(|v| Some(config.get(v))).expect("full config"))
+            .map(|f| {
+                f.eval_partial(|v| Some(config.get(v)))
+                    .expect("full config")
+            })
             .product()
     }
 

@@ -41,11 +41,7 @@ fn diff_factor(u: NodeId, v: NodeId, q: usize) -> Factor {
 /// ```
 pub fn model(g: &Graph, q: usize) -> GibbsModel {
     assert!(q > 0, "need at least one color");
-    let factors = g
-        .edges()
-        .iter()
-        .map(|e| diff_factor(e.u, e.v, q))
-        .collect();
+    let factors = g.edges().iter().map(|e| diff_factor(e.u, e.v, q)).collect();
     GibbsModel::new(g.clone(), q, factors, "coloring")
 }
 
@@ -58,11 +54,7 @@ pub fn model(g: &Graph, q: usize) -> GibbsModel {
 /// color `>= q`.
 pub fn list_model(g: &Graph, q: usize, lists: &[Vec<usize>]) -> GibbsModel {
     assert_eq!(lists.len(), g.node_count(), "one list per vertex");
-    let mut factors: Vec<Factor> = g
-        .edges()
-        .iter()
-        .map(|e| diff_factor(e.u, e.v, q))
-        .collect();
+    let mut factors: Vec<Factor> = g.edges().iter().map(|e| diff_factor(e.u, e.v, q)).collect();
     for v in g.nodes() {
         let list = &lists[v.index()];
         assert!(!list.is_empty(), "empty color list at {v}");
@@ -139,7 +131,10 @@ mod tests {
         let g = generators::path(2);
         // node 0 may be {0}, node 1 may be {0,1} -> only coloring (0,1)
         let m = list_model(&g, 2, &[vec![0], vec![0, 1]]);
-        assert_eq!(distribution::feasible_count(&m, &PartialConfig::empty(2)), 1);
+        assert_eq!(
+            distribution::feasible_count(&m, &PartialConfig::empty(2)),
+            1
+        );
         let joint = distribution::joint_distribution(&m, &PartialConfig::empty(2)).unwrap();
         assert_eq!(joint[0].0.get(NodeId(0)), Value(0));
         assert_eq!(joint[0].0.get(NodeId(1)), Value(1));

@@ -124,7 +124,10 @@ mod tests {
         let g = generators::cycle(4);
         let m = model(&g, 0.0);
         // only the empty set carries positive weight
-        assert_eq!(distribution::feasible_count(&m, &PartialConfig::empty(4)), 1);
+        assert_eq!(
+            distribution::feasible_count(&m, &PartialConfig::empty(4)),
+            1
+        );
         let mu = distribution::marginal(&m, &PartialConfig::empty(4), NodeId(0)).unwrap();
         assert_eq!(mu[1], 0.0);
     }

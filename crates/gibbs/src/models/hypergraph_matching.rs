@@ -7,7 +7,7 @@
 //! these in `O(log³ n)` rounds below the uniqueness threshold
 //! `λ_c(r, Δ) = (Δ−1)^{Δ−1} / ((r−1)(Δ−2)^Δ)` (Song–Yin–Zhao RANDOM'16).
 
-use lds_graph::{Graph, Hypergraph, HyperEdgeId, NodeId};
+use lds_graph::{Graph, HyperEdgeId, Hypergraph, NodeId};
 
 use crate::models::hardcore;
 use crate::{Config, GibbsModel, Value};

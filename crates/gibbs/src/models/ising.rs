@@ -32,7 +32,10 @@ impl IsingParams {
     ///
     /// Panics if either parameter is non-finite.
     pub fn new(beta: f64, field: f64) -> Self {
-        assert!(beta.is_finite() && field.is_finite(), "parameters must be finite");
+        assert!(
+            beta.is_finite() && field.is_finite(),
+            "parameters must be finite"
+        );
         IsingParams { beta, field }
     }
 

@@ -126,10 +126,7 @@ mod tests {
         // Z(λ) = 1 + 2λ
         let g = generators::path(3);
         let inst = MatchingInstance::new(&g, 3.0);
-        let z = distribution::partition_function(
-            inst.model(),
-            &PartialConfig::empty(2),
-        );
+        let z = distribution::partition_function(inst.model(), &PartialConfig::empty(2));
         assert!((z - 7.0).abs() < 1e-12);
     }
 

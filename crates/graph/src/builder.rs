@@ -102,7 +102,8 @@ mod tests {
     #[test]
     fn builds_simple_graph() {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(NodeId(0), NodeId(1)).add_edge(NodeId(2), NodeId(3));
+        b.add_edge(NodeId(0), NodeId(1))
+            .add_edge(NodeId(2), NodeId(3));
         assert_eq!(b.edge_count(), 2);
         assert!(b.has_edge(NodeId(1), NodeId(0)));
         let g = b.build();

@@ -160,7 +160,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 ///
 /// Panics if `n*d` is odd or `d >= n`.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a {d}-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a {d}-regular graph"
+    );
     assert!(d < n, "degree {d} must be below n={n}");
     if d == 0 {
         return GraphBuilder::new(n).build();
@@ -186,12 +189,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 /// Random bipartite graph on parts of sizes `left` and `right`; each
 /// cross pair is an edge independently with probability `p`. Left nodes get
 /// ids `0..left`, right nodes `left..left+right`. Always triangle-free.
-pub fn random_bipartite<R: Rng + ?Sized>(
-    left: usize,
-    right: usize,
-    p: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn random_bipartite<R: Rng + ?Sized>(left: usize, right: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
     let mut b = GraphBuilder::new(left + right);
     for i in 0..left {

@@ -172,9 +172,8 @@ impl Graph {
         };
         for v in 0..n {
             let (lo, hi) = g.range(NodeId::from_index(v));
-            let mut zipped: Vec<(NodeId, EdgeId)> = (lo..hi)
-                .map(|i| (g.adj[i], g.adj_edge[i]))
-                .collect();
+            let mut zipped: Vec<(NodeId, EdgeId)> =
+                (lo..hi).map(|i| (g.adj[i], g.adj_edge[i])).collect();
             zipped.sort_unstable();
             for (k, (nb, eid)) in zipped.into_iter().enumerate() {
                 g.adj[lo + k] = nb;
@@ -287,7 +286,7 @@ impl Graph {
             let mut a = self.neighbors(e.u).peekable();
             let mut b = self.neighbors(e.v).peekable();
             while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
-                match x.cmp(&y) {
+                match x.cmp(y) {
                     std::cmp::Ordering::Less => {
                         a.next();
                     }

@@ -139,10 +139,7 @@ impl Hypergraph {
         for list in &touching {
             for i in 0..list.len() {
                 for j in (i + 1)..list.len() {
-                    b.try_add_edge(
-                        NodeId::from_index(list[i]),
-                        NodeId::from_index(list[j]),
-                    );
+                    b.try_add_edge(NodeId::from_index(list[i]), NodeId::from_index(list[j]));
                 }
             }
         }
@@ -156,12 +153,7 @@ impl Hypergraph {
     /// # Panics
     ///
     /// Panics if `r > n` or `r == 0`.
-    pub fn random_uniform<R: Rng + ?Sized>(
-        n: usize,
-        m: usize,
-        r: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_uniform<R: Rng + ?Sized>(n: usize, m: usize, r: usize, rng: &mut R) -> Self {
         assert!(r > 0 && r <= n, "need 0 < r <= n");
         let all: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
         let mut edges = Vec::with_capacity(m);

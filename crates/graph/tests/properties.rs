@@ -7,23 +7,21 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..24).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(0..max_edges, 0..=max_edges.min(40)).prop_map(
-            move |codes| {
-                let mut b = lds_graph::GraphBuilder::new(n);
-                for code in codes {
-                    // decode pair index into (i, j), i < j
-                    let mut k = code;
-                    let mut i = 0usize;
-                    while k >= n - 1 - i {
-                        k -= n - 1 - i;
-                        i += 1;
-                    }
-                    let j = i + 1 + k;
-                    b.try_add_edge(NodeId::from_index(i), NodeId::from_index(j));
+        proptest::collection::vec(0..max_edges, 0..=max_edges.min(40)).prop_map(move |codes| {
+            let mut b = lds_graph::GraphBuilder::new(n);
+            for code in codes {
+                // decode pair index into (i, j), i < j
+                let mut k = code;
+                let mut i = 0usize;
+                while k >= n - 1 - i {
+                    k -= n - 1 - i;
+                    i += 1;
                 }
-                b.build()
-            },
-        )
+                let j = i + 1 + k;
+                b.try_add_edge(NodeId::from_index(i), NodeId::from_index(j));
+            }
+            b.build()
+        })
     })
 }
 
@@ -36,11 +34,10 @@ proptest! {
 
     #[test]
     fn distance_is_symmetric(g in arb_graph()) {
-        let n = g.node_count();
         let d0 = traversal::bfs_distances(&g, NodeId(0));
-        for v in 1..n {
+        for (v, &from_zero) in d0.iter().enumerate().skip(1) {
             let dv = traversal::bfs_distances(&g, NodeId::from_index(v));
-            prop_assert_eq!(d0[v], dv[0]);
+            prop_assert_eq!(from_zero, dv[0]);
         }
     }
 

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use lds_graph::{traversal, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,9 +19,13 @@ use crate::{Instance, View};
 /// * re-running an algorithm with the same network seed reproduces the
 ///   same randomness (needed to *reconstruct* a node's output
 ///   distribution in the sampling→inference reduction, Theorem 3.4).
+///
+/// The instance is held behind an [`Arc`] so that many executions of the
+/// same instance (different seeds, as in batched sampling or Monte Carlo
+/// reconstruction) share one copy of the graph and factor tables.
 #[derive(Clone, Debug)]
 pub struct Network {
-    instance: Instance,
+    instance: Arc<Instance>,
     seed: u64,
 }
 
@@ -34,12 +40,27 @@ fn splitmix64(mut z: u64) -> u64 {
 impl Network {
     /// Creates a network over the instance with the given master seed.
     pub fn new(instance: Instance, seed: u64) -> Self {
+        Network {
+            instance: Arc::new(instance),
+            seed,
+        }
+    }
+
+    /// Creates a network sharing an already-wrapped instance — the O(1)
+    /// constructor for running many seeds against one instance.
+    pub fn from_shared(instance: Arc<Instance>, seed: u64) -> Self {
         Network { instance, seed }
     }
 
     /// The instance `(G, x, τ)`.
     pub fn instance(&self) -> &Instance {
         &self.instance
+    }
+
+    /// A shared handle to the instance (for spawning sibling networks
+    /// with other seeds without cloning the model).
+    pub fn shared_instance(&self) -> Arc<Instance> {
+        Arc::clone(&self.instance)
     }
 
     /// Number of nodes `n`.
@@ -85,7 +106,7 @@ impl Network {
     /// local self-reduction step); randomness is unchanged.
     pub fn with_pins(&self, extra: &lds_gibbs::PartialConfig) -> Network {
         Network {
-            instance: self.instance.with_pins(extra),
+            instance: Arc::new(self.instance.with_pins(extra)),
             seed: self.seed,
         }
     }

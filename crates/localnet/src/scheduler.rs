@@ -70,8 +70,7 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
     let diam = lds_graph::traversal::diameter(g) as usize;
     let locality = locality.min(diam.max(1));
     let h = power::power(g, locality + 1);
-    let mut rng =
-        StdRng::seed_from_u64(net.seed() ^ 0xdec0_u64 ^ stream.wrapping_mul(0x9e37));
+    let mut rng = StdRng::seed_from_u64(net.seed() ^ 0xdec0_u64 ^ stream.wrapping_mul(0x9e37));
     let decomposition = linial_saks(&h, DecompositionParams::for_size(n), &mut rng);
 
     // Group nodes into (color, cluster) buckets.

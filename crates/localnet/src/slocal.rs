@@ -135,8 +135,7 @@ mod tests {
             }
             // maximal
             for v in g.nodes() {
-                let dominated =
-                    s[v.index()] || g.neighbors(v).any(|&w| s[w.index()]);
+                let dominated = s[v.index()] || g.neighbors(v).any(|&w| s[w.index()]);
                 assert!(dominated);
             }
         }

@@ -32,13 +32,9 @@ impl View {
         let (model, sub) = net.instance().model().restrict_to(members);
         let pinning = GibbsModel::localize_pinning(&sub, net.instance().pinning());
         let seeds = members.iter().map(|&v| net.node_seed(v, 0)).collect();
-        let global_dist =
-            traversal::bfs_distances(net.instance().model().graph(), center);
+        let global_dist = traversal::bfs_distances(net.instance().model().graph(), center);
         // distance from center, clipped to the ball
-        let distances = members
-            .iter()
-            .map(|&v| global_dist[v.index()])
-            .collect();
+        let distances = members.iter().map(|&v| global_dist[v.index()]).collect();
         View {
             center_global: center,
             center_local: sub.to_local(center).expect("center is a member"),

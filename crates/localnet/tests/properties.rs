@@ -19,10 +19,7 @@ fn workload(idx: usize, seed: u64) -> Graph {
 }
 
 fn network(g: &Graph, seed: u64) -> Network {
-    Network::new(
-        Instance::unconditioned(hardcore::model(g, 1.0)),
-        seed,
-    )
+    Network::new(Instance::unconditioned(hardcore::model(g, 1.0)), seed)
 }
 
 proptest! {

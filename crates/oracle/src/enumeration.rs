@@ -180,8 +180,7 @@ mod tests {
         let g = generators::cycle(9);
         let m = coloring::model(&g, 3);
         let tau = PartialConfig::empty(9);
-        let (est, frontier) =
-            oracle().marginal_with_frontier(&m, &tau, NodeId(0), 2);
+        let (est, frontier) = oracle().marginal_with_frontier(&m, &tau, NodeId(0), 2);
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // the frontier pinning never violates a constraint

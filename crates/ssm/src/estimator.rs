@@ -154,7 +154,9 @@ mod tests {
         let m = hardcore::model(&g, lambda);
         let n = g.node_count();
         // pin all leaves (last b^depth nodes) occupied / vacant
-        let leaves: Vec<NodeId> = (n - b.pow(depth as u32)..n).map(NodeId::from_index).collect();
+        let leaves: Vec<NodeId> = (n - b.pow(depth as u32)..n)
+            .map(NodeId::from_index)
+            .collect();
         for boundary in [true, false] {
             let mut pin = PartialConfig::empty(n);
             for &u in &leaves {

@@ -42,8 +42,7 @@ pub mod rate;
 /// [`lds_core::complexity`]).
 pub mod thresholds {
     pub use lds_core::complexity::{
-        alpha_star, coloring_decay_rate, hardcore_decay_rate,
-        hardcore_uniqueness_threshold, hypergraph_matching_threshold, ising_decay_rate,
-        matching_decay_rate,
+        alpha_star, coloring_decay_rate, hardcore_decay_rate, hardcore_uniqueness_threshold,
+        hypergraph_matching_threshold, ising_decay_rate, matching_decay_rate,
     };
 }

@@ -46,11 +46,7 @@ pub fn hardcore_tree_sweep(delta: usize, ratios: &[f64], max_depth: usize) -> Ve
             let series = tree_gap_series(b, lambda, max_depth);
             // fit only where the gap is above the floating-point floor,
             // skipping the first quarter (boundary transient)
-            let usable: Vec<GapPoint> = series
-                .iter()
-                .copied()
-                .filter(|p| p.gap > 1e-13)
-                .collect();
+            let usable: Vec<GapPoint> = series.iter().copied().filter(|p| p.gap > 1e-13).collect();
             let skip = usable.len() / 4;
             let fitted = fit_rate(&usable[skip..]);
             let limiting_gap = series.last().map_or(0.0, |p| p.gap);

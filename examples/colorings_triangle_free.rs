@@ -2,45 +2,80 @@
 //! `q ≥ αΔ`, `α > α* ≈ 1.763` (Corollary 5.3, third bullet).
 //!
 //! The example also demonstrates *self-reduction* (Remark 2.2): pinning a
-//! partial coloring turns the instance into a list-coloring of the
-//! remaining graph, and the sampler honors the pins.
+//! partial coloring through the engine builder turns the instance into a
+//! list-coloring of the remaining graph, and both sampling and inference
+//! tasks honor the pins. Regime rejections (triangles, tight palettes)
+//! happen once, at `build()` time, with structured errors.
 //!
 //! Run with: `cargo run --example colorings_triangle_free --release`
 
-use lds::core::{apps, complexity};
+use lds::engine::{Engine, ModelSpec, Task};
 use lds::gibbs::models::coloring;
-use lds::gibbs::{distribution, PartialConfig, Value};
+use lds::gibbs::{PartialConfig, Value};
 use lds::graph::{generators, NodeId};
 
 fn main() {
     let g = generators::cycle(8);
     let q = 4usize;
+    let engine = Engine::builder()
+        .model(ModelSpec::Coloring { q })
+        .graph(g.clone())
+        .epsilon(0.002)
+        .seed(3)
+        .build()
+        .expect("q > α*·Δ on a triangle-free graph");
     println!(
-        "C8 with q = {q} colors; α* = {:.4}, α*·Δ = {:.3} < q ⇒ in regime",
-        complexity::alpha_star(),
-        complexity::alpha_star() * g.max_degree() as f64
+        "C8 with q = {q} colors; decay rate α*Δ/q = {:.3} < 1 ⇒ in regime \
+         (oracle: {})",
+        engine.rate(),
+        engine.oracle_name()
     );
 
-    let run = apps::sample_coloring(&g, q, 0.002, 3).expect("regime checked above");
-    println!("sampled coloring: {:?}", run.output);
-    println!("proper: {}", coloring::is_proper(&g, &run.output));
-    println!("rounds: {} (bound shape log³n = {:.1})", run.rounds, run.bound_rounds);
+    let run = engine.run(Task::SampleExact).expect("valid task");
+    let config = run.config().expect("sampling task");
+    println!("sampled coloring: {config:?}");
+    println!("proper: {}", coloring::is_proper(&g, config));
+    println!(
+        "rounds: {} (bound shape log³n = {:.1})",
+        run.rounds, run.bound_rounds
+    );
 
     // self-reduction: pin node 0 to color 2 and inspect the conditional
     // marginal of its neighbor — colors 0,1,3 only (Remark 2.2's lists)
-    let model = coloring::model(&g, q);
     let mut tau = PartialConfig::empty(8);
     tau.pin(NodeId(0), Value(2));
-    let mu = distribution::marginal(&model, &tau, NodeId(1)).unwrap();
-    println!("\nconditional marginal at node 1 given node 0 = color 2: {mu:?}");
-    assert_eq!(mu[2], 0.0, "neighbor cannot reuse the pinned color");
+    let pinned = Engine::builder()
+        .model(ModelSpec::Coloring { q })
+        .graph(g.clone())
+        .pinning(tau.clone())
+        .build()
+        .expect("pinning one node keeps the instance feasible");
+    let mu = pinned
+        .run(Task::Infer {
+            vertex: NodeId(1),
+            value: Value(2),
+        })
+        .expect("valid task");
+    println!(
+        "\nconditional marginal at node 1 given node 0 = color 2: {:?}",
+        mu.marginal().expect("inference task")
+    );
+    assert_eq!(
+        mu.marginal().expect("inference task")[2],
+        0.0,
+        "neighbor cannot reuse the pinned color"
+    );
     let lists = coloring::residual_list(&g, q, |u| tau.get(u), NodeId(1));
     println!("residual list at node 1 (Remark 2.2): {lists:?}");
 
-    // the regime check rejects triangles and tight palettes
+    // the regime check rejects triangles and tight palettes at build time
     let k3 = generators::complete(3);
     println!(
         "\nK3 rejected: {}",
-        apps::sample_coloring(&k3, 9, 0.01, 0).unwrap_err()
+        Engine::builder()
+            .model(ModelSpec::Coloring { q: 9 })
+            .graph(k3)
+            .build()
+            .unwrap_err()
     );
 }

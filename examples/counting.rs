@@ -4,49 +4,58 @@
 //! chain rule into conditional marginals, so a local inference oracle
 //! approximates the partition function with multiplicative error `n·ε`.
 //! This example counts independent sets (Fibonacci/Lucas numbers on
-//! paths/cycles — an exact cross-check) and matchings.
+//! paths/cycles — an exact cross-check) and matchings, all through
+//! `Task::Count` on the unified engine.
 //!
 //! Run with: `cargo run --example counting --release`
 
-use lds::core::counting;
-use lds::graph::generators;
+use lds::engine::{Engine, EngineError, ModelSpec, Task, TaskOutput};
+use lds::graph::{generators, Graph};
+
+fn count(model: ModelSpec, g: &Graph, eps: f64) -> Result<(f64, f64), EngineError> {
+    let engine = Engine::builder()
+        .model(model)
+        .graph(g.clone())
+        .epsilon(eps)
+        .build()?;
+    let report = engine.run(Task::Count)?;
+    match report.output {
+        TaskOutput::Count {
+            log_z,
+            log_error_bound,
+        } => Ok((log_z, log_error_bound)),
+        _ => unreachable!("Task::Count returns TaskOutput::Count"),
+    }
+}
 
 fn main() {
     println!("independent sets of paths (Fibonacci: i(P_n) = F(n+2)):");
     let fib = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233];
     for n in 3..=10usize {
         let g = generators::path(n);
-        let est = counting::count_independent_sets(&g, 1.0, 1e-5).unwrap();
+        let (log_z, bound) = count(ModelSpec::Hardcore { lambda: 1.0 }, &g, 1e-5).unwrap();
         println!(
-            "  i(P{n:<2}) ≈ {:>8.2}   exact {:>4}   |ln error| ≤ {:.1e}",
-            est.z(),
+            "  i(P{n:<2}) ≈ {:>8.2}   exact {:>4}   |ln error| ≤ {bound:.1e}",
+            log_z.exp(),
             fib[n + 1],
-            est.log_error_bound
         );
     }
 
     println!("\nindependent sets of cycles (Lucas: i(C_n) = L(n)):");
     let lucas = [2u64, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123, 199];
-    for n in 4..=10usize {
+    for (n, &exact) in lucas.iter().enumerate().take(11).skip(4) {
         let g = generators::cycle(n);
-        let est = counting::count_independent_sets(&g, 1.0, 1e-5).unwrap();
-        println!(
-            "  i(C{n:<2}) ≈ {:>8.2}   exact {:>4}   anchor {:?}",
-            est.z(),
-            lucas[n],
-            est.anchor
-        );
+        let (log_z, _) = count(ModelSpec::Hardcore { lambda: 1.0 }, &g, 1e-5).unwrap();
+        println!("  i(C{n:<2}) ≈ {:>8.2}   exact {exact:>4}", log_z.exp());
     }
 
     println!("\nmatchings of the 3x3 grid (weighted, λ sweep):");
     let g = generators::grid(3, 3);
     for lambda in [0.5f64, 1.0, 2.0] {
-        let est = counting::count_matchings(&g, lambda, 1e-5).unwrap();
+        let (log_z, bound) = count(ModelSpec::Matching { lambda }, &g, 1e-5).unwrap();
         println!(
-            "  Z_match(λ={lambda}) ≈ {:>10.3}   (ln Z = {:.4} ± {:.1e})",
-            est.z(),
-            est.log_z,
-            est.log_error_bound
+            "  Z_match(λ={lambda}) ≈ {:>10.3}   (ln Z = {log_z:.4} ± {bound:.1e})",
+            log_z.exp(),
         );
     }
 }

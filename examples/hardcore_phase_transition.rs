@@ -11,6 +11,8 @@
 //! Run with: `cargo run --example hardcore_phase_transition --release`
 
 use lds::core::complexity;
+use lds::engine::{Engine, EngineError, ModelSpec};
+use lds::graph::generators;
 use lds::ssm::{estimator, phase};
 
 fn main() {
@@ -60,4 +62,28 @@ fn main() {
         "\nThe radius needed by any LOCAL inference algorithm diverges at λ_c — \
          the tractable/intractable divide of distributed sampling."
     );
+
+    // the engine enforces exactly this divide at build time: the same
+    // λ that samples fine on one side of λ_c is rejected on the other,
+    // with the violated threshold reported in structured form.
+    let torus = generators::torus(4, 4); // Δ = 4, λ_c = 27/16
+    let below = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 0.8 * lc })
+        .graph(torus.clone())
+        .build();
+    let above = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.3 * lc })
+        .graph(torus)
+        .build();
+    println!(
+        "\nengine at 0.8·λ_c: built (rate {:.3})",
+        below.expect("below threshold").rate()
+    );
+    match above.expect_err("above threshold") {
+        EngineError::OutOfRegime(oor) => println!(
+            "engine at 1.3·λ_c: rejected (computed λ = {:.4} vs critical λ_c = {:.4})",
+            oor.computed, oor.critical
+        ),
+        other => panic!("expected OutOfRegime, got {other:?}"),
+    }
 }

@@ -1,49 +1,48 @@
 //! The equivalence of approximate inference and approximate sampling
-//! (Theorems 3.2 and 3.4), run end to end.
+//! (Theorems 3.2 and 3.4), run end to end through the engine.
 //!
-//! Direction 1: an inference oracle (Weitz SAW tree) drives the
-//! sequential chain-rule sampler, transformed into a LOCAL algorithm by
-//! the network-decomposition scheduler (Lemma 3.1).
+//! Direction 1: `Task::SampleApprox` — an inference oracle (Weitz SAW
+//! tree) drives the sequential chain-rule sampler, transformed into a
+//! LOCAL algorithm by the network-decomposition scheduler (Lemma 3.1).
 //!
-//! Direction 2: repeated executions of that LOCAL sampler reconstruct the
-//! per-node marginals (error ≤ δ + ε₀ + Monte Carlo noise).
+//! Direction 2: repeated executions of that sampler (one `run_batch`
+//! call over many seeds) reconstruct the per-node marginals, which we
+//! compare against `Task::Infer` and the exact enumeration.
 //!
 //! Run with: `cargo run --example inference_vs_sampling --release`
 
-use lds::core::sampler::{sample_local, SequentialSampler};
-use lds::core::sampling_to_inference;
+use lds::engine::{Engine, ModelSpec, Task};
 use lds::gibbs::models::hardcore;
-use lds::gibbs::models::two_spin::TwoSpinParams;
-use lds::gibbs::{distribution, metrics, PartialConfig};
+use lds::gibbs::{distribution, metrics, PartialConfig, Value};
 use lds::graph::{generators, NodeId};
-use lds::localnet::{Instance, Network};
-use lds::oracle::{DecayRate, TwoSpinSawOracle};
 
 fn main() {
     let n = 12usize;
     let g = generators::cycle(n);
-    let model = hardcore::model(&g, 1.0);
-    let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
     let delta = 0.05f64;
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(g.clone())
+        .delta(delta)
+        .seed(99)
+        .build()
+        .expect("in regime");
 
     // ---- inference ⟹ sampling (Theorem 3.2) ----
-    let net = Network::new(Instance::unconditioned(model.clone()), 99);
-    let (run, schedule) = sample_local(&net, &oracle, delta, 0);
+    let run = engine.run(Task::SampleApprox).expect("valid task");
     println!(
-        "Theorem 3.2: sampled {:?} in {} rounds ({} colors, weak radius {})",
-        run.outputs, run.rounds, schedule.colors, schedule.max_weak_radius
-    );
-    println!(
-        "sampler locality t(n, δ/n) = {}",
-        lds::localnet::slocal::SlocalAlgorithm::locality(
-            &SequentialSampler::new(&oracle, delta),
-            n
-        )
+        "Theorem 3.2: sampled {:?} in {} rounds (δ = {delta})",
+        run.config().expect("sampling task"),
+        run.rounds,
     );
 
     // ---- sampling ⟹ inference (Theorem 3.4) ----
+    // Monte Carlo reconstruction through the engine: repeated sampler
+    // executions, marginals read off per node.
     let reps = 3000usize;
-    let rec = sampling_to_inference::marginals_by_sampling(&net, &oracle, delta, reps, 7);
+    let rec = engine.marginals_by_sampling(reps, 7).expect("reps > 0");
+
+    let model = hardcore::model(&g, 1.0);
     let tau = PartialConfig::empty(n);
     let mut worst = 0.0f64;
     for v in g.nodes() {
@@ -53,11 +52,22 @@ fn main() {
     println!(
         "\nTheorem 3.4: reconstructed marginals from {} runs; \
          worst node error {:.4} (bound δ + ε₀ = {:.4} + noise), failure rate {:.4}",
-        reps, worst, delta + rec.failure_rate, rec.failure_rate
+        rec.repetitions,
+        worst,
+        delta + rec.failure_rate,
+        rec.failure_rate
     );
+
+    // the same engine answers the direct inference query
+    let inferred = engine
+        .run(Task::Infer {
+            vertex: NodeId(0),
+            value: Value(1),
+        })
+        .expect("valid task");
     println!(
-        "exact marginal at v0: {:?}\nreconstructed:        {:?}",
+        "exact marginal at v0: {:?}\ninferred (Task::Infer): {:?}",
         distribution::marginal(&model, &tau, NodeId(0)).unwrap(),
-        rec.marginals[0]
+        inferred.marginal().expect("inference task"),
     );
 }

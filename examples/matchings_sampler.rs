@@ -2,13 +2,15 @@
 //! (Corollary 5.3, first bullet).
 //!
 //! Matchings of `G` are independent sets of the line graph `L(G)` — a
-//! distance-preserving duality — and the monomer–dimer model always
-//! exhibits strong spatial mixing (rate `1 − Ω(1/√(λΔ))`), so exact
-//! local sampling works at *every* edge weight `λ` and degree `Δ`.
+//! distance-preserving duality handled inside the engine, which decodes
+//! the line-graph configuration back to base-graph edges — and the
+//! monomer–dimer model always exhibits strong spatial mixing (rate
+//! `1 − Ω(1/√(λΔ))`), so the engine accepts *every* edge weight `λ` and
+//! degree `Δ`.
 //!
 //! Run with: `cargo run --example matchings_sampler --release`
 
-use lds::core::{apps, complexity};
+use lds::engine::{Engine, ModelSpec, Task};
 use lds::graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,22 +20,29 @@ fn main() {
     for delta in [3usize, 4, 5] {
         let g = generators::random_regular(10, delta, &mut rng);
         let lambda = 1.5;
-        let rate = complexity::matching_decay_rate(lambda, delta);
-        let out = apps::sample_matching(&g, lambda, 0.02, 7);
+        let engine = Engine::builder()
+            .model(ModelSpec::Matching { lambda })
+            .graph(g.clone())
+            .epsilon(0.02)
+            .seed(7)
+            .build()
+            .expect("matchings are always in regime");
+        let out = engine.run(Task::SampleExact).expect("valid task");
+        let edges = out.matching_edges().expect("matching decode");
         println!(
             "Δ = {delta}: sampled matching of {} edges out of {} \
              (decay rate {:.3}, rounds {}, bound shape √Δ·log³n = {:.0})",
-            out.edges.len(),
+            edges.len(),
             g.edge_count(),
-            rate,
-            out.run.rounds,
-            out.run.bound_rounds,
+            out.rate,
+            out.rounds,
+            out.bound_rounds,
         );
-        println!("         edges: {:?}", out.edges);
+        println!("         edges: {edges:?}");
     }
     println!(
         "\nUnlike the hardcore model, there is no phase transition here: \
-         matchings mix at every temperature, so the sampler never leaves \
-         the tractable regime."
+         matchings mix at every temperature, so the engine never rejects \
+         the parameters at build time."
     );
 }

@@ -1,12 +1,13 @@
 //! Quickstart: sample exactly from the hardcore model in the LOCAL model.
 //!
-//! Builds a cycle, checks the uniqueness regime, runs the distributed
-//! JVV sampler (Theorem 4.2), and prints the sampled independent set with
-//! its round cost.
+//! Builds an `Engine` for a hardcore instance on a cycle — the
+//! uniqueness-regime check runs once, at build time — then draws an
+//! exact sample via the distributed JVV sampler (Theorem 4.2) and prints
+//! the sampled independent set with its round cost.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use lds::core::{apps, complexity};
+use lds::engine::{Engine, ModelSpec, Task};
 use lds::gibbs::models::hardcore;
 use lds::graph::generators;
 
@@ -14,17 +15,24 @@ fn main() {
     let g = generators::cycle(16);
     let delta = g.max_degree();
     let lambda = 1.0;
-    let lc = complexity::hardcore_uniqueness_threshold(delta);
-    println!("graph: C16 (Δ = {delta}), hardcore λ = {lambda}, λ_c(Δ) = {lc}");
-
-    let run = apps::sample_hardcore(&g, lambda, 0.001, 42).expect("λ below threshold");
-
-    let occupied = hardcore::occupied_set(&run.output);
-    println!("sampled independent set: {occupied:?}");
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda })
+        .graph(g.clone())
+        .epsilon(0.001)
+        .seed(42)
+        .build()
+        .expect("λ below threshold");
     println!(
-        "independent: {}",
-        hardcore::is_independent_set(&g, &run.output)
+        "graph: C16 (Δ = {delta}), hardcore λ = {lambda}, oracle: {}",
+        engine.oracle_name()
     );
+
+    let run = engine.run(Task::SampleExact).expect("valid task");
+
+    let config = run.config().expect("sampling task");
+    let occupied = hardcore::occupied_set(config);
+    println!("sampled independent set: {occupied:?}");
+    println!("independent: {}", hardcore::is_independent_set(&g, config));
     println!(
         "rounds: {} (paper bound shape O(log³ n) = {:.1})",
         run.rounds, run.bound_rounds
@@ -34,8 +42,9 @@ fn main() {
         run.succeeded
     );
     println!(
-        "rejection acceptance product: {:.3} (≥ e^{{-5n²ε}} = {:.3})",
-        run.acceptance(),
-        (-5.0 * 256.0 * 0.001f64).exp()
+        "rejection acceptance product: {:.3} (≥ e^{{-5n²ε}} = {:.3}); wall time {:?}",
+        run.acceptance().expect("exact sampling task"),
+        (-5.0 * 256.0 * 0.001f64).exp(),
+        run.wall_time,
     );
 }

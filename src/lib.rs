@@ -10,6 +10,9 @@
 //!
 //! This crate is an umbrella re-exporting the workspace members:
 //!
+//! * [`engine`] — **the front door**: the unified [`engine::Engine`]
+//!   facade serving exact/approximate sampling, inference, and counting
+//!   for all five Corollary 5.3 models through one typed API.
 //! * [`graph`] — graph substrate (CSR graphs, generators, balls, power
 //!   graphs, line graphs, hypergraphs).
 //! * [`gibbs`] — Gibbs distributions defined by local constraints, their
@@ -26,22 +29,42 @@
 //!
 //! # Quickstart
 //!
+//! Build an [`engine::Engine`] once — the uniqueness-regime check runs at
+//! build time — then serve typed tasks through it:
+//!
 //! ```
-//! use lds::core::apps;
-//! use lds::graph::generators;
+//! use lds::engine::{Engine, ModelSpec, Task};
+//! use lds::gibbs::Value;
+//! use lds::graph::{generators, NodeId};
 //!
 //! // exact LOCAL sampling from the hardcore model below uniqueness
-//! let g = generators::cycle(10);
-//! let run = apps::sample_hardcore(&g, 1.0, 0.001, 42).expect("in regime");
-//! assert_eq!(run.output.len(), 10);
+//! let engine = Engine::builder()
+//!     .model(ModelSpec::Hardcore { lambda: 1.0 })
+//!     .graph(generators::cycle(10))
+//!     .epsilon(0.001)
+//!     .seed(42)
+//!     .build()
+//!     .expect("in regime");
+//! let run = engine.run(Task::SampleExact).expect("task is valid");
+//! assert_eq!(run.config().expect("sampling task").len(), 10);
+//!
+//! // the same engine answers inference and counting queries
+//! let mu = engine
+//!     .run(Task::Infer { vertex: NodeId(0), value: Value(1) })
+//!     .unwrap();
+//! assert!((mu.marginal().unwrap().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! let z = engine.run(Task::Count).unwrap();
+//! assert!(z.log_z().unwrap() > 0.0);
 //! ```
 //!
-//! See `examples/` for runnable walkthroughs, DESIGN.md for the system
-//! inventory, and EXPERIMENTS.md for the per-claim reproduction record.
+//! See `examples/` for runnable walkthroughs of every model and task
+//! kind, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+//! per-claim reproduction record.
 
 #![forbid(unsafe_code)]
 
 pub use lds_core as core;
+pub use lds_engine as engine;
 pub use lds_gibbs as gibbs;
 pub use lds_graph as graph;
 pub use lds_localnet as localnet;

@@ -1,38 +1,61 @@
 //! Integration: every Corollary 5.3 application produces valid outputs,
-//! enforces its regime, and reports coherent round counts.
+//! enforces its regime, and reports coherent round counts — all through
+//! the unified engine facade.
 
-use lds::core::{apps, complexity};
+use lds::core::complexity;
+use lds::engine::{Engine, EngineError, ModelSpec, Task};
 use lds::gibbs::models::hypergraph_matching::HypergraphMatchingInstance;
 use lds::gibbs::models::matching::MatchingInstance;
-use lds::gibbs::models::two_spin::TwoSpinParams;
-use lds::gibbs::models::{coloring, hardcore};
-use lds::graph::{generators, Hypergraph, NodeId};
+use lds::gibbs::models::{coloring, hardcore, two_spin};
+use lds::graph::{generators, Graph, Hypergraph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn build(model: ModelSpec, g: &Graph) -> Engine {
+    Engine::builder()
+        .model(model)
+        .graph(g.clone())
+        .epsilon(0.01)
+        .build()
+        .expect("in regime")
+}
 
 #[test]
 fn all_five_applications_run() {
     // hardcore
     let g = generators::cycle(8);
-    let hc = apps::sample_hardcore(&g, 1.0, 0.01, 1).unwrap();
-    assert!(hardcore::is_independent_set(&g, &hc.output));
+    let hc = build(ModelSpec::Hardcore { lambda: 1.0 }, &g)
+        .run_with_seed(Task::SampleExact, 1)
+        .unwrap();
+    assert!(hardcore::is_independent_set(&g, hc.config().unwrap()));
     assert!(hc.rounds > 0);
 
     // matchings
     let mut rng = StdRng::seed_from_u64(2);
     let rg = generators::random_regular(8, 3, &mut rng);
-    let m = apps::sample_matching(&rg, 1.2, 0.01, 2);
-    assert!(MatchingInstance::new(&rg, 1.2).is_matching(&m.edges));
+    let m = build(ModelSpec::Matching { lambda: 1.2 }, &rg)
+        .run_with_seed(Task::SampleExact, 2)
+        .unwrap();
+    assert!(MatchingInstance::new(&rg, 1.2).is_matching(m.matching_edges().unwrap()));
 
     // colorings
-    let col = apps::sample_coloring(&g, 4, 0.01, 3).unwrap();
-    assert!(coloring::is_proper(&g, &col.output));
+    let col = build(ModelSpec::Coloring { q: 4 }, &g)
+        .run_with_seed(Task::SampleExact, 3)
+        .unwrap();
+    assert!(coloring::is_proper(&g, col.config().unwrap()));
 
     // antiferro two-spin (Ising)
+    let ising = build(
+        ModelSpec::Ising {
+            beta: -0.2,
+            field: 0.0,
+        },
+        &g,
+    );
+    let ts = ising.run_with_seed(Task::SampleExact, 4).unwrap();
     let params = lds::gibbs::models::ising::IsingParams::new(-0.2, 0.0).to_two_spin();
-    let ts = apps::sample_two_spin(&g, params, 0.5, 0.01, 4).unwrap();
-    let tsm = lds::gibbs::models::two_spin::model(&g, params);
-    assert!(tsm.weight(&ts.output) > 0.0);
+    let tsm = two_spin::model(&g, params);
+    assert!(tsm.weight(ts.config().unwrap()) > 0.0);
 
     // hypergraph matchings
     let h = Hypergraph::new(
@@ -43,28 +66,51 @@ fn all_five_applications_run() {
             vec![NodeId(3), NodeId(4), NodeId(5)],
         ],
     );
-    let hm = apps::sample_hypergraph_matching(&h, 0.2, 0.01, 5).unwrap();
-    assert!(HypergraphMatchingInstance::new(&h, 0.2).is_matching(&hm.hyperedges));
+    let hm = Engine::builder()
+        .model(ModelSpec::HypergraphMatching { lambda: 0.2 })
+        .hypergraph(h.clone())
+        .epsilon(0.01)
+        .build()
+        .unwrap()
+        .run_with_seed(Task::SampleExact, 5)
+        .unwrap();
+    assert!(HypergraphMatchingInstance::new(&h, 0.2).is_matching(hm.hyperedges().unwrap()));
 }
 
 #[test]
-fn regimes_are_enforced() {
+fn regimes_are_enforced_at_build_time() {
     // hardcore above threshold
     let t = generators::torus(4, 4);
-    assert!(apps::sample_hardcore(&t, 3.0, 0.01, 0).is_err());
+    assert!(matches!(
+        Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 3.0 })
+            .graph(t.clone())
+            .build(),
+        Err(EngineError::OutOfRegime(_))
+    ));
     // ferromagnetic two-spin
-    assert!(apps::sample_two_spin(
-        &generators::cycle(6),
-        TwoSpinParams::new(2.0, 3.0, 1.0),
-        0.5,
-        0.01,
-        0
-    )
-    .is_err());
+    assert!(Engine::builder()
+        .model(ModelSpec::TwoSpin {
+            beta: 2.0,
+            gamma: 3.0,
+            lambda: 1.0,
+            rate: 0.5
+        })
+        .graph(generators::cycle(6))
+        .build()
+        .is_err());
     // triangle
-    assert!(apps::sample_coloring(&generators::complete(3), 10, 0.01, 0).is_err());
+    assert!(Engine::builder()
+        .model(ModelSpec::Coloring { q: 10 })
+        .graph(generators::complete(3))
+        .build()
+        .is_err());
     // too few colors
-    assert!(apps::sample_coloring(&t, 5, 0.01, 0).is_err());
+    assert!(Engine::builder()
+        .model(ModelSpec::Coloring { q: 5 })
+        .graph(t)
+        .build()
+        .is_err());
     // hypergraph matching above threshold
     let h = Hypergraph::new(
         4,
@@ -74,7 +120,17 @@ fn regimes_are_enforced() {
             vec![NodeId(0), NodeId(2), NodeId(3)],
         ],
     );
-    assert!(apps::sample_hypergraph_matching(&h, 50.0, 0.01, 0).is_err());
+    match Engine::builder()
+        .model(ModelSpec::HypergraphMatching { lambda: 50.0 })
+        .hypergraph(h)
+        .build()
+    {
+        Err(EngineError::OutOfRegime(oor)) => {
+            assert_eq!(oor.computed, 50.0);
+            assert!(oor.critical < 50.0, "critical λ_c = {}", oor.critical);
+        }
+        other => panic!("expected OutOfRegime, got {other:?}"),
+    }
 }
 
 #[test]
@@ -82,15 +138,24 @@ fn hardcore_rounds_grow_toward_threshold() {
     // closer to λ_c ⟹ weaker decay ⟹ larger radius ⟹ more rounds
     let g = generators::cycle(24);
     let lc_proxy = 2.0; // cycles are always unique; use rate growth instead
-    let lo = apps::sample_hardcore(&g, 0.3, 0.01, 7).unwrap();
-    let hi = apps::sample_hardcore(&g, lc_proxy, 0.01, 7).unwrap();
+    let lo = build(ModelSpec::Hardcore { lambda: 0.3 }, &g)
+        .run_with_seed(Task::SampleExact, 7)
+        .unwrap();
+    let hi = build(ModelSpec::Hardcore { lambda: lc_proxy }, &g)
+        .run_with_seed(Task::SampleExact, 7)
+        .unwrap();
     assert!(
         lo.rate < hi.rate,
         "decay rate must grow with λ: {} vs {}",
         lo.rate,
         hi.rate
     );
-    assert!(lo.rounds <= hi.rounds, "rounds {} vs {}", lo.rounds, hi.rounds);
+    assert!(
+        lo.rounds <= hi.rounds,
+        "rounds {} vs {}",
+        lo.rounds,
+        hi.rounds
+    );
 }
 
 #[test]
@@ -103,11 +168,20 @@ fn matching_bound_shape_scales_with_degree() {
 #[test]
 fn acceptance_products_are_valid_probabilities() {
     let g = generators::cycle(8);
-    for seed in 0..5 {
-        let run = apps::sample_hardcore(&g, 1.0, 0.005, seed).unwrap();
-        let acc = run.acceptance();
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(g)
+        .epsilon(0.005)
+        .build()
+        .unwrap();
+    for report in engine
+        .run_batch(Task::SampleExact, &[0, 1, 2, 3, 4])
+        .unwrap()
+    {
+        let acc = report.acceptance().unwrap();
         assert!((0.0..=1.0 + 1e-12).contains(&acc), "acceptance {acc}");
-        assert_eq!(run.stats.clamped, 0);
-        assert_eq!(run.stats.repair_failures, 0);
+        let stats = report.stats.as_ref().unwrap();
+        assert_eq!(stats.clamped, 0);
+        assert_eq!(stats.repair_failures, 0);
     }
 }

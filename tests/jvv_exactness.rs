@@ -8,7 +8,9 @@ use lds::gibbs::models::{coloring, hardcore};
 use lds::gibbs::{distribution, metrics, Config, GibbsModel, PartialConfig};
 use lds::graph::{generators, ordering};
 use lds::localnet::{Instance, Network};
-use lds::oracle::{BoostedOracle, DecayRate, EnumerationOracle, MultiplicativeInference, TwoSpinSawOracle};
+use lds::oracle::{
+    BoostedOracle, DecayRate, EnumerationOracle, MultiplicativeInference, TwoSpinSawOracle,
+};
 
 /// Runs JVV `trials` times and returns (success rate, TV of accepted
 /// empirical distribution vs exact, total clamped).
@@ -33,8 +35,7 @@ fn jvv_statistics<O: MultiplicativeInference>(
     let success = accepted.len() as f64 / trials as f64;
     let emp = metrics::empirical_distribution(&accepted);
     let exact =
-        distribution::joint_distribution(model, &PartialConfig::empty(model.node_count()))
-            .unwrap();
+        distribution::joint_distribution(model, &PartialConfig::empty(model.node_count())).unwrap();
     (success, metrics::tv_distance_joint(&emp, &exact), clamped)
 }
 

@@ -6,7 +6,7 @@ use lds::core::ssm_inference;
 use lds::gibbs::models::hardcore;
 use lds::gibbs::{distribution, metrics, PartialConfig, Value};
 use lds::graph::{generators, NodeId};
-use lds::oracle::{DecayRate, EnumerationOracle, InferenceOracle};
+use lds::oracle::{DecayRate, InferenceOracle};
 use lds::ssm::{correlation, estimator, phase, rate};
 
 #[test]
