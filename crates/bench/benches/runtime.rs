@@ -1,0 +1,86 @@
+//! Runtime bench: `run_batch` throughput across thread-pool widths.
+//!
+//! Measures the tentpole claim of the parallel runtime — fanning a
+//! multi-seed batch across the pool — so the speedup is *measured*, not
+//! asserted. Besides the per-width Criterion timings, the bench prints a
+//! direct speedup table (threads 1 vs. 2 vs. 4 on the same batch) and
+//! the machine's available parallelism, since the realized speedup is
+//! bounded by physical cores (a single-core container will show ~1.0×
+//! with the pool overhead, which is itself worth tracking).
+//!
+//! Determinism across widths is *asserted* here too: a benchmark that
+//! silently changed results with the thread count would be measuring a
+//! different computation.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_bench::workloads;
+use lds_engine::{Engine, ModelSpec, Task};
+use lds_runtime::ThreadPool;
+
+const BATCH: usize = 16;
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(workloads::torus(5))
+        .epsilon(0.01)
+        .threads(threads)
+        .build()
+        .expect("in regime")
+}
+
+fn bench_run_batch_widths(c: &mut Criterion) {
+    let seeds: Vec<u64> = (0..BATCH as u64).collect();
+    let mut group = c.benchmark_group("runtime_run_batch");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let eng = engine(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| eng.run_batch(Task::SampleExact, &seeds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn speedup_table(_c: &mut Criterion) {
+    let seeds: Vec<u64> = (0..BATCH as u64).collect();
+    let reference = engine(1);
+    let start = Instant::now();
+    let base_reports = reference.run_batch(Task::SampleExact, &seeds).unwrap();
+    let base = start.elapsed();
+    println!(
+        "\nruntime speedup: batch of {BATCH} exact samples, torus(5); \
+         available parallelism {}",
+        ThreadPool::available().threads()
+    );
+    println!("  threads 1: {base:?} (reference)");
+    for threads in [2usize, 4] {
+        let eng = engine(threads);
+        // warmup spawns the pool's worker threads once before timing
+        let warm = eng.run_batch(Task::SampleExact, &seeds).unwrap();
+        let start = Instant::now();
+        let reports = eng.run_batch(Task::SampleExact, &seeds).unwrap();
+        let elapsed = start.elapsed();
+        for ((a, b), w) in base_reports.iter().zip(&reports).zip(&warm) {
+            assert_eq!(
+                a.config(),
+                b.config(),
+                "determinism broke at {threads} threads"
+            );
+            assert_eq!(
+                a.config(),
+                w.config(),
+                "determinism broke at {threads} threads"
+            );
+        }
+        println!(
+            "  threads {threads}: {elapsed:?} (speedup {:.2}x)",
+            base.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, bench_run_batch_widths, speedup_table);
+criterion_main!(benches);

@@ -32,13 +32,16 @@
 //! locally computable acceptance. Success probability `≥ e^{−5n²ε}`,
 //! which is `1 − O(1/n)` at the paper's `ε = 1/n³`.
 
+use std::time::{Duration, Instant};
+
 use lds_gibbs::{distribution, Config, PartialConfig, Value};
 use lds_graph::{traversal, NodeId};
 use lds_localnet::local::LocalRun;
 use lds_localnet::scheduler::{self, ChromaticSchedule};
-use lds_localnet::slocal::{multipass_locality, SlocalAlgorithm, SlocalRun};
+use lds_localnet::slocal::{self, multipass_locality, SlocalAlgorithm, SlocalKernel, SlocalRun};
 use lds_localnet::Network;
 use lds_oracle::MultiplicativeInference;
+use lds_runtime::ThreadPool;
 use rand::Rng;
 
 /// Randomness stream for pass 2 (sampling `Y`).
@@ -78,7 +81,7 @@ pub struct LocalJvv<'a, O> {
     eps: f64,
 }
 
-impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
+impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
     /// Creates the sampler over a multiplicative-error oracle with
     /// per-marginal error `ε`.
     ///
@@ -120,13 +123,68 @@ impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
         p
     }
 
-    /// Runs the three passes and returns the full outcome.
+    /// The pass-1 kernel (ground state σ₀).
+    fn ground_kernel(&self) -> GroundKernel<'_, O> {
+        GroundKernel {
+            oracle: self.oracle,
+            eps: self.eps,
+        }
+    }
+
+    /// The pass-2 kernel (random configuration `Y`).
+    fn chain_kernel(&self) -> ChainKernel<'_, O> {
+        ChainKernel {
+            oracle: self.oracle,
+            eps: self.eps,
+        }
+    }
+
+    /// Runs the three passes sequentially over `order` and returns the
+    /// full outcome.
     pub fn run_detailed(&self, net: &Network, order: &[NodeId]) -> JvvOutcome {
+        let ground = slocal::run_kernel_sequential(net, &self.ground_kernel(), order);
+        let sampled = slocal::run_kernel_sequential(net, &self.chain_kernel(), order);
+        self.rejection_pass(net, order, ground, sampled)
+    }
+
+    /// Runs passes 1 and 2 with same-color clusters simulated
+    /// concurrently on the pool (they are pinning-extension kernels, so
+    /// Lemma 3.1's parallel cluster simulation applies verbatim), then
+    /// the rejection pass sequentially over the schedule's ordering.
+    /// Bit-identical to [`LocalJvv::run_detailed`] on `schedule.order`
+    /// at any pool width; also returns per-pass wall-clock times.
+    pub fn run_scheduled(
+        &self,
+        net: &Network,
+        schedule: &ChromaticSchedule,
+        pool: &ThreadPool,
+    ) -> (JvvOutcome, JvvPassTimings) {
+        let mut timings = JvvPassTimings::default();
+        let start = Instant::now();
+        let ground = scheduler::run_kernel_chromatic(net, &self.ground_kernel(), schedule, pool);
+        timings.ground = start.elapsed();
+        let start = Instant::now();
+        let sampled = scheduler::run_kernel_chromatic(net, &self.chain_kernel(), schedule, pool);
+        timings.sample = start.elapsed();
+        let start = Instant::now();
+        let outcome = self.rejection_pass(net, &schedule.order, ground, sampled);
+        timings.reject = start.elapsed();
+        (outcome, timings)
+    }
+
+    /// Pass 3 (local rejection) given the ground state and the sampled
+    /// configuration from passes 1 and 2.
+    fn rejection_pass(
+        &self,
+        net: &Network,
+        order: &[NodeId],
+        ground: SlocalRun<Value>,
+        sampled: SlocalRun<Value>,
+    ) -> JvvOutcome {
         let model = net.instance().model();
         let tau = net.instance().pinning();
         let g = model.graph();
         let n = model.node_count();
-        let q = model.alphabet_size();
         let ell = model.locality().max(1);
         let t = self.oracle.radius_mul(model, self.eps);
         let slack = self.slack(n);
@@ -135,47 +193,10 @@ impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
             locality: multipass_locality(&[t, t, 3 * t + ell]),
             ..JvvStats::default()
         };
-        let mut failures = vec![false; n];
-
-        // ---- Pass 1: ground state σ₀ ----
-        let mut sigma0_pin = tau.clone();
-        for &v in order {
-            if sigma0_pin.is_pinned(v) {
-                continue;
-            }
-            let mu = self.oracle.marginal_mul(model, &sigma0_pin, v, self.eps);
-            let choice = (0..q).find(|&c| mu[c] > 0.0);
-            match choice {
-                Some(c) => sigma0_pin.pin(v, Value::from_index(c)),
-                None => {
-                    // defensive fallback: greedy local feasibility
-                    let fallback = (0..q).find(|&c| {
-                        model.is_locally_feasible(&sigma0_pin.with_pin(v, Value::from_index(c)))
-                    });
-                    match fallback {
-                        Some(c) => sigma0_pin.pin(v, Value::from_index(c)),
-                        None => {
-                            failures[v.index()] = true;
-                            sigma0_pin.pin(v, Value(0));
-                        }
-                    }
-                }
-            }
-        }
-        let sigma0 = sigma0_pin.to_config();
-
-        // ---- Pass 2: random configuration Y ----
-        let mut y_pin = tau.clone();
-        for &v in order {
-            if y_pin.is_pinned(v) {
-                continue;
-            }
-            let mu = self.oracle.marginal_mul(model, &y_pin, v, self.eps);
-            let mut rng = net.node_rng(v, STREAM_JVV_SAMPLE);
-            let val = distribution::sample_from_marginal(&mu, &mut rng);
-            y_pin.pin(v, val);
-        }
-        let y = y_pin.to_config();
+        // pass-1 fallback failures carry over; pass 2 never fails
+        let mut failures = ground.failures;
+        let sigma0 = Config::from_values(ground.outputs);
+        let y = Config::from_values(sampled.outputs);
 
         // position of each node in the scan order
         let mut pos = vec![usize::MAX; n];
@@ -278,6 +299,60 @@ impl<'a, O: MultiplicativeInference> LocalJvv<'a, O> {
     }
 }
 
+/// Per-pass wall-clock times of a scheduled `local-JVV` execution.
+#[derive(Clone, Debug, Default)]
+pub struct JvvPassTimings {
+    /// Pass 1 (ground state σ₀).
+    pub ground: Duration,
+    /// Pass 2 (chain-rule sampling of `Y`).
+    pub sample: Duration,
+    /// Pass 3 (local rejection).
+    pub reject: Duration,
+}
+
+/// Pass-1 kernel: extend `τ` feasibly by picking the first value with
+/// positive estimated marginal (positive estimate ⟹ positive truth by
+/// the multiplicative guarantee). Reads pins within the oracle radius
+/// `t`; failure only on the defensive fallback path.
+struct GroundKernel<'a, O> {
+    oracle: &'a O,
+    eps: f64,
+}
+
+impl<O: MultiplicativeInference + Sync> SlocalKernel for GroundKernel<'_, O> {
+    fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
+        let model = net.instance().model();
+        let q = model.alphabet_size();
+        let mu = self.oracle.marginal_mul(model, sigma, v, self.eps);
+        if let Some(c) = (0..q).find(|&c| mu[c] > 0.0) {
+            return (Value::from_index(c), false);
+        }
+        // defensive fallback: greedy local feasibility
+        let fallback =
+            (0..q).find(|&c| model.is_locally_feasible(&sigma.with_pin(v, Value::from_index(c))));
+        match fallback {
+            Some(c) => (Value::from_index(c), false),
+            None => (Value(0), true),
+        }
+    }
+}
+
+/// Pass-2 kernel: sample `Y_v ~ μ̂^{Y_{<v}}_v` with `v`'s private
+/// randomness (stream [`STREAM_JVV_SAMPLE`]). Never fails.
+struct ChainKernel<'a, O> {
+    oracle: &'a O,
+    eps: f64,
+}
+
+impl<O: MultiplicativeInference + Sync> SlocalKernel for ChainKernel<'_, O> {
+    fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
+        let model = net.instance().model();
+        let mu = self.oracle.marginal_mul(model, sigma, v, self.eps);
+        let mut rng = net.node_rng(v, STREAM_JVV_SAMPLE);
+        (distribution::sample_from_marginal(&mu, &mut rng), false)
+    }
+}
+
 /// Claim 4.6 constructively: find `σ_i` agreeing with `Y` on scanned
 /// positions `≤ i`, equal to `σ_prev` outside `ball`, feasible. Greedy
 /// repair inside the ball (sound for locally admissible models).
@@ -314,7 +389,7 @@ fn repair(
     Some(full.to_config())
 }
 
-impl<O: MultiplicativeInference> SlocalAlgorithm for LocalJvv<'_, O> {
+impl<O: MultiplicativeInference + Sync> SlocalAlgorithm for LocalJvv<'_, O> {
     type Output = Value;
 
     fn locality(&self, _n: usize) -> usize {
@@ -334,19 +409,50 @@ impl<O: MultiplicativeInference> SlocalAlgorithm for LocalJvv<'_, O> {
 /// `O(t(n)·log² n)` rounds). Returns the LOCAL run (failures combine the
 /// rejection bits `F′` with the decomposition bits `F″`), the schedule,
 /// and the JVV statistics.
-pub fn sample_exact_local<O: MultiplicativeInference>(
+pub fn sample_exact_local<O: MultiplicativeInference + Sync>(
     net: &Network,
     oracle: &O,
     eps: f64,
     stream: u64,
 ) -> (LocalRun<Value>, ChromaticSchedule, JvvStats) {
+    let (run, schedule, stats, _timings) =
+        sample_exact_local_with(net, oracle, eps, stream, &ThreadPool::sequential());
+    (run, schedule, stats)
+}
+
+/// Per-phase wall-clock of a [`sample_exact_local_with`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExactSampleTimings {
+    /// Decomposition + chromatic-schedule construction.
+    pub schedule: Duration,
+    /// The three `local-JVV` passes.
+    pub passes: JvvPassTimings,
+}
+
+/// [`sample_exact_local`] with passes 1–2 simulating same-color clusters
+/// concurrently on `pool` (bit-identical at any pool width), returning
+/// per-phase wall-clock times alongside the run.
+pub fn sample_exact_local_with<O: MultiplicativeInference + Sync>(
+    net: &Network,
+    oracle: &O,
+    eps: f64,
+    stream: u64,
+    pool: &ThreadPool,
+) -> (
+    LocalRun<Value>,
+    ChromaticSchedule,
+    JvvStats,
+    ExactSampleTimings,
+) {
     let model = net.instance().model();
     let ell = model.locality().max(1);
     let t = oracle.radius_mul(model, eps);
     let locality = multipass_locality(&[t, t, 3 * t + ell]);
+    let start = Instant::now();
     let schedule = scheduler::chromatic_schedule(net, locality, stream);
+    let schedule_wall = start.elapsed();
     let jvv = LocalJvv::new(oracle, eps);
-    let outcome = jvv.run_detailed(net, &schedule.order);
+    let (outcome, passes) = jvv.run_scheduled(net, &schedule, pool);
     let n = net.node_count();
     let failures: Vec<bool> = (0..n)
         .map(|v| outcome.run.failures[v] || schedule.failed[v])
@@ -359,6 +465,10 @@ pub fn sample_exact_local<O: MultiplicativeInference>(
         },
         schedule,
         outcome.stats,
+        ExactSampleTimings {
+            schedule: schedule_wall,
+            passes,
+        },
     )
 }
 

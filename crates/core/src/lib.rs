@@ -53,6 +53,7 @@ pub mod regime;
 pub mod sampler;
 pub mod sampling_to_inference;
 pub mod ssm_inference;
+pub mod stats;
 
 pub use inference::LocalInference;
 pub use jvv::{JvvOutcome, JvvStats, LocalJvv};

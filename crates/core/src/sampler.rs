@@ -11,13 +11,16 @@
 //! (Lemma 3.1, [`lds_localnet::scheduler`]): time complexity
 //! `O(t(n, δ/n) · log² n)`.
 
-use lds_gibbs::{distribution, Value};
+use std::time::{Duration, Instant};
+
+use lds_gibbs::{distribution, PartialConfig, Value};
 use lds_graph::NodeId;
 use lds_localnet::local::LocalRun;
 use lds_localnet::scheduler::{self, ChromaticSchedule};
-use lds_localnet::slocal::{SlocalAlgorithm, SlocalRun};
+use lds_localnet::slocal::{self, SlocalAlgorithm, SlocalKernel, SlocalRun};
 use lds_localnet::Network;
 use lds_oracle::InferenceOracle;
+use lds_runtime::ThreadPool;
 
 /// Randomness stream tag for the sequential sampler (distinct streams
 /// decorrelate passes that share the network seed).
@@ -55,7 +58,22 @@ impl<'a, O: InferenceOracle> SequentialSampler<'a, O> {
     }
 }
 
-impl<O: InferenceOracle> SlocalAlgorithm for SequentialSampler<'_, O> {
+/// The sampler's per-node step is a pinning-extension kernel: sample
+/// `Y_v ~ μ̂^{τ ∧ σ}_v` with `v`'s private randomness. Reads only pins
+/// within the oracle radius `t` — the locality contract that makes the
+/// chromatic cluster-parallel simulation execution-equivalent.
+impl<O: InferenceOracle + Sync> SlocalKernel for SequentialSampler<'_, O> {
+    fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
+        let model = net.instance().model();
+        let n = model.node_count();
+        let t = self.oracle.radius(n, self.per_node_delta(n));
+        let mu = self.oracle.marginal(model, sigma, v, t);
+        let mut rng = net.node_rng(v, STREAM_SEQ_SAMPLER);
+        (distribution::sample_from_marginal(&mu, &mut rng), false)
+    }
+}
+
+impl<O: InferenceOracle + Sync> SlocalAlgorithm for SequentialSampler<'_, O> {
     type Output = Value;
 
     fn locality(&self, n: usize) -> usize {
@@ -63,26 +81,7 @@ impl<O: InferenceOracle> SlocalAlgorithm for SequentialSampler<'_, O> {
     }
 
     fn run_sequential(&self, net: &Network, order: &[NodeId]) -> SlocalRun<Value> {
-        let model = net.instance().model();
-        let n = model.node_count();
-        let t = self.oracle.radius(n, self.per_node_delta(n));
-        let mut sigma = net.instance().pinning().clone();
-        for &v in order {
-            if sigma.is_pinned(v) {
-                continue;
-            }
-            let mu = self.oracle.marginal(model, &sigma, v, t);
-            let mut rng = net.node_rng(v, STREAM_SEQ_SAMPLER);
-            let val = distribution::sample_from_marginal(&mu, &mut rng);
-            sigma.pin(v, val);
-        }
-        let outputs: Vec<Value> = (0..n)
-            .map(|i| sigma.get(NodeId::from_index(i)).expect("all pinned"))
-            .collect();
-        SlocalRun {
-            outputs,
-            failures: vec![false; n],
-        }
+        slocal::run_kernel_sequential(net, self, order)
     }
 }
 
@@ -90,14 +89,60 @@ impl<O: InferenceOracle> SlocalAlgorithm for SequentialSampler<'_, O> {
 /// composed with the Lemma 3.1 transformation. Conditioned on no failure
 /// the output follows `μ̂_{I,π}` with `d_TV(μ̂, μ^τ) ≤ δ` for the
 /// schedule's ordering `π`.
-pub fn sample_local<O: InferenceOracle>(
+pub fn sample_local<O: InferenceOracle + Sync>(
     net: &Network,
     oracle: &O,
     delta: f64,
     stream: u64,
 ) -> (LocalRun<Value>, ChromaticSchedule) {
+    let (run, schedule, _timings) =
+        sample_local_with(net, oracle, delta, stream, &ThreadPool::sequential());
+    (run, schedule)
+}
+
+/// Per-phase wall-clock of a [`sample_local_with`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct ApproxSampleTimings {
+    /// Decomposition + chromatic-schedule construction.
+    pub schedule: Duration,
+    /// The chain-rule sampling scan.
+    pub scan: Duration,
+}
+
+/// [`sample_local`] with same-color clusters simulated concurrently on
+/// `pool` — the parallel form of Lemma 3.1. The result is bit-identical
+/// to the sequential version at any pool width; per-phase wall-clock
+/// times are returned alongside.
+pub fn sample_local_with<O: InferenceOracle + Sync>(
+    net: &Network,
+    oracle: &O,
+    delta: f64,
+    stream: u64,
+    pool: &ThreadPool,
+) -> (LocalRun<Value>, ChromaticSchedule, ApproxSampleTimings) {
     let sampler = SequentialSampler::new(oracle, delta);
-    scheduler::run_slocal_in_local(net, &sampler, stream)
+    let n = net.node_count();
+    let start = Instant::now();
+    let schedule = scheduler::chromatic_schedule(net, sampler.locality(n), stream);
+    let schedule_wall = start.elapsed();
+    let start = Instant::now();
+    let run = scheduler::run_kernel_chromatic(net, &sampler, &schedule, pool);
+    let scan_wall = start.elapsed();
+    let failures: Vec<bool> = (0..n)
+        .map(|v| run.failures[v] || schedule.failed[v])
+        .collect();
+    (
+        LocalRun {
+            outputs: run.outputs,
+            failures,
+            rounds: schedule.rounds,
+        },
+        schedule,
+        ApproxSampleTimings {
+            schedule: schedule_wall,
+            scan: scan_wall,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 use lds_gibbs::Value;
 use lds_localnet::Network;
 use lds_oracle::InferenceOracle;
+use lds_runtime::ThreadPool;
 
 use crate::sampler::SequentialSampler;
 use lds_graph::NodeId;
@@ -54,28 +55,58 @@ pub fn repetitions_for(n: usize, q: usize, delta_s: f64, eta: f64) -> usize {
 /// Failed executions contribute their outputs too (the reduction reads
 /// the *unconditioned* marginal, which is what the `δ + ε₀` bound is
 /// about); the failure rate is reported separately.
-pub fn marginals_by_sampling<O: InferenceOracle>(
+pub fn marginals_by_sampling<O: InferenceOracle + Sync>(
     net: &Network,
     oracle: &O,
     delta: f64,
     repetitions: usize,
     seed0: u64,
 ) -> SampledMarginals {
+    marginals_by_sampling_with(
+        net,
+        oracle,
+        delta,
+        repetitions,
+        seed0,
+        &ThreadPool::sequential(),
+    )
+}
+
+/// [`marginals_by_sampling`] with the independent Monte Carlo executions
+/// fanned out across the pool. Each repetition derives its own network
+/// seed, so the estimate is bit-identical at any pool width.
+pub fn marginals_by_sampling_with<O: InferenceOracle + Sync>(
+    net: &Network,
+    oracle: &O,
+    delta: f64,
+    repetitions: usize,
+    seed0: u64,
+    pool: &ThreadPool,
+) -> SampledMarginals {
     let n = net.node_count();
     let q = net.instance().model().alphabet_size();
     let mut counts = vec![vec![0usize; q]; n];
     let mut failures = 0usize;
     let mut rounds = 0usize;
-    for rep in 0..repetitions {
-        let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep as u64));
-        let sampler = SequentialSampler::new(oracle, delta);
-        let (run, _schedule) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
-        rounds = rounds.max(run.rounds);
-        if !run.succeeded() {
-            failures += 1;
-        }
-        for v in 0..n {
-            counts[v][run.outputs[v].index()] += 1;
+    // tally chunk by chunk so peak memory stays O(chunk · n) no matter
+    // how many repetitions the Hoeffding bound asks for
+    let chunk = (pool.threads() * 16).max(64);
+    let reps: Vec<u64> = (0..repetitions as u64).collect();
+    for chunk_reps in reps.chunks(chunk) {
+        let runs = pool.par_map(chunk_reps, |&rep| {
+            let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep));
+            let sampler = SequentialSampler::new(oracle, delta);
+            let (run, _schedule) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
+            run
+        });
+        for run in runs {
+            rounds = rounds.max(run.rounds);
+            if !run.succeeded() {
+                failures += 1;
+            }
+            for v in 0..n {
+                counts[v][run.outputs[v].index()] += 1;
+            }
         }
     }
     let marginals = counts
@@ -96,7 +127,7 @@ pub fn marginals_by_sampling<O: InferenceOracle>(
 
 /// Convenience: the marginal of a single node from the reduction (for
 /// tests and experiments that only probe one vertex).
-pub fn node_marginal_by_sampling<O: InferenceOracle>(
+pub fn node_marginal_by_sampling<O: InferenceOracle + Sync>(
     net: &Network,
     oracle: &O,
     delta: f64,

@@ -11,9 +11,10 @@ use lds_gibbs::models::matching::MatchingInstance;
 use lds_gibbs::models::two_spin::TwoSpinParams;
 use lds_gibbs::models::{coloring, hardcore, two_spin};
 use lds_gibbs::{Config, PartialConfig};
-use lds_graph::{Graph, Hypergraph};
+use lds_graph::{Graph, Hypergraph, NodeId};
 use lds_localnet::{Instance, Network};
 use lds_oracle::{DecayRate, TwoSpinSawOracle};
+use lds_runtime::{Phase, ThreadPool};
 
 use crate::error::EngineError;
 use crate::oracle::{BoostedEnumeration, OracleHandle, TaskOracle};
@@ -58,13 +59,14 @@ pub struct Engine {
     spec: ModelSpec,
     topology: Topology,
     instance: Arc<Instance>,
-    oracle: Box<dyn TaskOracle>,
+    oracle: Box<dyn TaskOracle + Send + Sync>,
     decoder: Decoder,
     rate: f64,
     bound_rounds: f64,
     epsilon: f64,
     delta: f64,
     seed: u64,
+    pool: ThreadPool,
 }
 
 /// Builder for [`Engine`]; see [`Engine::builder`].
@@ -76,6 +78,7 @@ pub struct EngineBuilder {
     epsilon: Option<f64>,
     delta: Option<f64>,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -128,6 +131,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the width of the engine's thread pool: `run_batch` fans
+    /// seeds across it, the chromatic scheduler simulates same-color
+    /// clusters on it, and the per-vertex oracle trials of
+    /// [`Engine::marginals_exact_all`] and the Monte Carlo executions of
+    /// [`Engine::marginals_by_sampling`] run on it.
+    ///
+    /// Every result is **bit-identical regardless of `n`** (randomness
+    /// is derived per task, never shared — see `lds-runtime`);
+    /// `threads(1)` recovers the fully sequential execution. Default:
+    /// the `LDS_THREADS` environment variable if set, else
+    /// `std::thread::available_parallelism()`.
+    ///
+    /// # Panics
+    ///
+    /// [`EngineBuilder::build`] fails with
+    /// [`EngineError::InvalidParameter`] if `n == 0`.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Validates the request and builds the engine: checks the
     /// uniqueness regime once, constructs the Gibbs model on its
     /// carrier graph, selects the oracle, and verifies the pinning.
@@ -153,12 +177,23 @@ impl EngineBuilder {
             }
         }
         validate_spec_parameters(&spec)?;
+        let pool = match self.threads {
+            Some(0) => {
+                return Err(EngineError::InvalidParameter {
+                    name: "threads",
+                    message: "the pool needs at least one thread".into(),
+                })
+            }
+            Some(n) => ThreadPool::new(n),
+            None => ThreadPool::from_env(),
+        };
         let topology = self.topology.ok_or(EngineError::MissingTopology {
             expected: spec.expected_topology(),
         })?;
 
         // regime check + model/oracle/decoder construction, per spec
-        let (model, oracle, decoder, rate, bound_rounds): (_, Box<dyn TaskOracle>, _, f64, f64) =
+        type BoxedOracle = Box<dyn TaskOracle + Send + Sync>;
+        let (model, oracle, decoder, rate, bound_rounds): (_, BoxedOracle, _, f64, f64) =
             match &spec {
                 ModelSpec::Hardcore { lambda } => {
                     let g = require_graph(&topology)?;
@@ -279,6 +314,7 @@ impl EngineBuilder {
             epsilon,
             delta,
             seed: self.seed,
+            pool,
         })
     }
 }
@@ -359,6 +395,7 @@ impl std::fmt::Debug for Engine {
             .field("epsilon", &self.epsilon)
             .field("delta", &self.delta)
             .field("seed", &self.seed)
+            .field("threads", &self.pool.threads())
             .finish_non_exhaustive()
     }
 }
@@ -415,6 +452,11 @@ impl Engine {
         self.seed
     }
 
+    /// Width of the engine's thread pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
     /// The dispatched oracle's name.
     pub fn oracle_name(&self) -> &str {
         self.oracle.name()
@@ -429,7 +471,9 @@ impl Engine {
         self.run_with_seed(task, self.seed)
     }
 
-    /// Serves one task with an explicit network seed.
+    /// Serves one task with an explicit network seed, running any
+    /// intra-task parallelism (chromatic cluster simulation) on the
+    /// engine's pool.
     ///
     /// # Errors
     ///
@@ -437,33 +481,58 @@ impl Engine {
     /// [`Task::Infer`]; [`EngineError::CountFailed`] if the counting
     /// anchor construction fails.
     pub fn run_with_seed(&self, task: Task, seed: u64) -> Result<RunReport, EngineError> {
+        self.run_with_seed_on(task, seed, &self.pool)
+    }
+
+    /// [`Engine::run_with_seed`] on an explicit pool (the batch path
+    /// parallelizes *across* seeds and keeps each seed's execution
+    /// sequential to avoid nested thread fan-out).
+    fn run_with_seed_on(
+        &self,
+        task: Task,
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> Result<RunReport, EngineError> {
         let start = Instant::now();
         let model = self.instance.model();
         let handle = OracleHandle(self.oracle.as_ref());
-        let (output, succeeded, rounds, stats) = match task {
+        let (output, succeeded, rounds, stats, phases) = match task {
             Task::SampleExact => {
                 let net = Network::from_shared(Arc::clone(&self.instance), seed);
-                let (run, _schedule, stats) =
-                    jvv::sample_exact_local(&net, &handle, self.epsilon, 0);
+                let (run, _schedule, stats, timings) =
+                    jvv::sample_exact_local_with(&net, &handle, self.epsilon, 0, pool);
                 let config = Config::from_values(run.outputs.clone());
                 let decoded = self.decode(&config);
+                let phases = vec![
+                    Phase::new("schedule", timings.schedule, run.rounds),
+                    Phase::new("ground", timings.passes.ground, 0),
+                    Phase::new("sample", timings.passes.sample, 0),
+                    Phase::new("reject", timings.passes.reject, 0),
+                ];
                 (
                     TaskOutput::Sample { config, decoded },
                     run.succeeded(),
                     run.rounds,
                     Some(stats),
+                    phases,
                 )
             }
             Task::SampleApprox => {
                 let net = Network::from_shared(Arc::clone(&self.instance), seed);
-                let (run, _schedule) = sampler::sample_local(&net, &handle, self.delta, 0);
+                let (run, _schedule, timings) =
+                    sampler::sample_local_with(&net, &handle, self.delta, 0, pool);
                 let config = Config::from_values(run.outputs.clone());
                 let decoded = self.decode(&config);
+                let phases = vec![
+                    Phase::new("schedule", timings.schedule, run.rounds),
+                    Phase::new("scan", timings.scan, 0),
+                ];
                 (
                     TaskOutput::Sample { config, decoded },
                     run.succeeded(),
                     run.rounds,
                     None,
+                    phases,
                 )
             }
             Task::Infer { vertex, value } => {
@@ -497,6 +566,7 @@ impl Engine {
                     true,
                     rounds,
                     None,
+                    vec![Phase::new("oracle", start.elapsed(), rounds)],
                 )
             }
             Task::Count => {
@@ -516,6 +586,7 @@ impl Engine {
                     true,
                     rounds,
                     None,
+                    vec![Phase::new("count", start.elapsed(), rounds)],
                 )
             }
         };
@@ -529,22 +600,47 @@ impl Engine {
             rate: self.rate,
             stats,
             wall_time: start.elapsed(),
+            phases,
         })
     }
 
     /// Serves the same task once per seed — the single hot path for
-    /// multi-seed throughput workloads (and the seam future batching /
-    /// parallel backends plug into).
+    /// multi-seed throughput workloads. Seeds fan out across the
+    /// engine's thread pool (each seed's own execution stays sequential
+    /// so the pool is not oversubscribed by nested fan-out) and the
+    /// reports are gathered **in input order**; per-task randomness is
+    /// derived from the seed alone, so the reports are bit-identical to
+    /// a sequential run at any pool width.
     ///
     /// # Errors
     ///
-    /// Fails fast with the first task error (seeds already executed are
-    /// discarded).
+    /// Fails fast with the first task error in seed order (reports of
+    /// other seeds are discarded).
     pub fn run_batch(&self, task: Task, seeds: &[u64]) -> Result<Vec<RunReport>, EngineError> {
-        seeds
-            .iter()
-            .map(|&seed| self.run_with_seed(task, seed))
+        self.pool
+            .par_map(seeds, |&seed| {
+                self.run_with_seed_on(task, seed, &ThreadPool::sequential())
+            })
+            .into_iter()
             .collect()
+    }
+
+    /// Marginals at every carrier vertex with multiplicative error `ε`
+    /// (the full inference table) — the independent per-vertex oracle
+    /// trials (boosted frontier pinning + exact ball marginal) fan out
+    /// across the engine's pool via
+    /// [`lds_oracle::marginals_mul_batch`], in vertex order.
+    pub fn marginals_exact_all(&self) -> Vec<Vec<f64>> {
+        let model = self.instance.model();
+        let vertices: Vec<NodeId> = (0..model.node_count()).map(NodeId::from_index).collect();
+        lds_oracle::marginals_mul_batch(
+            &OracleHandle(self.oracle.as_ref()),
+            model,
+            self.instance.pinning(),
+            &vertices,
+            self.epsilon,
+            &self.pool,
+        )
     }
 
     /// The sampling ⟹ inference reduction (Theorem 3.4): reconstructs
@@ -569,12 +665,13 @@ impl Engine {
         }
         let net = Network::from_shared(Arc::clone(&self.instance), seed0);
         let handle = OracleHandle(self.oracle.as_ref());
-        Ok(sampling_to_inference::marginals_by_sampling(
+        Ok(sampling_to_inference::marginals_by_sampling_with(
             &net,
             &handle,
             self.delta,
             repetitions,
             seed0,
+            &self.pool,
         ))
     }
 

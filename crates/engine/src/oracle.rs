@@ -84,9 +84,10 @@ impl<O: InferenceOracle + MultiplicativeInference> TaskOracle for O {
 
 /// Borrowed view of a [`TaskOracle`] implementing the concrete oracle
 /// traits, so the engine can hand its trait object to the generic
-/// algorithms in `lds_core` (`jvv::sample_exact_local`,
-/// `sampler::sample_local`, `counting::log_partition_function`).
-pub(crate) struct OracleHandle<'a>(pub &'a dyn TaskOracle);
+/// algorithms in `lds_core` (`jvv::sample_exact_local_with`,
+/// `sampler::sample_local_with`, `counting::log_partition_function`).
+/// The `Send + Sync` bounds let the handle cross the thread pool.
+pub(crate) struct OracleHandle<'a>(pub &'a (dyn TaskOracle + Send + Sync));
 
 impl InferenceOracle for OracleHandle<'_> {
     fn name(&self) -> &str {

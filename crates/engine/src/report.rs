@@ -5,6 +5,7 @@ use std::time::Duration;
 use lds_core::jvv::JvvStats;
 use lds_gibbs::{Config, Value};
 use lds_graph::{EdgeId, HyperEdgeId, NodeId};
+pub use lds_runtime::Phase;
 
 /// One request against a built [`crate::Engine`].
 ///
@@ -93,6 +94,10 @@ pub struct RunReport {
     pub stats: Option<JvvStats>,
     /// Wall-clock time of the execution.
     pub wall_time: Duration,
+    /// Per-phase wall-clock and simulated-round breakdown. The phase
+    /// rounds sum to [`RunReport::rounds`]; the phase wall times are
+    /// bounded by [`RunReport::wall_time`].
+    pub phases: Vec<Phase>,
 }
 
 impl RunReport {
@@ -146,5 +151,13 @@ impl RunReport {
     /// The rejection acceptance product, if this was an exact sample.
     pub fn acceptance(&self) -> Option<f64> {
         self.stats.as_ref().map(|s| s.acceptance_product)
+    }
+
+    /// The wall-clock time of a named phase, if recorded.
+    pub fn phase_wall_time(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.wall_time)
     }
 }

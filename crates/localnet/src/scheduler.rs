@@ -27,13 +27,13 @@
 //! independent of the algorithm's own randomness — as required by the
 //! proof of Proposition 4.3.
 
+use lds_gibbs::Value;
 use lds_graph::{power, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lds_runtime::{streams, StreamRng, ThreadPool};
 
 use crate::decomposition::{linial_saks, DecompositionParams, NetworkDecomposition, UNCLUSTERED};
 use crate::local::LocalRun;
-use crate::slocal::SlocalAlgorithm;
+use crate::slocal::{SlocalAlgorithm, SlocalKernel, SlocalRun};
 use crate::Network;
 
 /// A chromatic schedule: the sequential ordering realized by the parallel
@@ -43,6 +43,15 @@ pub struct ChromaticSchedule {
     /// The ordering `π` the parallel simulation is equivalent to. Includes
     /// all nodes; unclustered (failed) nodes are appended at the end.
     pub order: Vec<NodeId>,
+    /// The parallel form of the schedule: for each color in increasing
+    /// order, the clusters of that color (members sorted by id). Same-
+    /// color clusters are at pairwise distance `> r + 1` in `G`, so they
+    /// may be simulated concurrently; flattening this nesting and
+    /// appending [`ChromaticSchedule::tail`] reproduces `order` exactly.
+    pub color_clusters: Vec<Vec<Vec<NodeId>>>,
+    /// Unclustered (failed) nodes, processed sequentially after all
+    /// colors — the tail of `order`.
+    pub tail: Vec<NodeId>,
     /// Failure bits `F″_v` from the decomposition.
     pub failed: Vec<bool>,
     /// Simulated LOCAL rounds.
@@ -59,7 +68,11 @@ pub struct ChromaticSchedule {
 /// graph: decomposition of `G^{r+1}`, equivalent ordering, and round cost.
 ///
 /// `stream` decorrelates scheduling randomness from algorithm randomness
-/// (pass distinct streams for nested uses).
+/// (pass distinct streams for nested uses). Decomposition randomness is
+/// derived through the [`StreamRng`] tree under the
+/// [`streams::DECOMPOSITION`] domain, so it is independent of the
+/// algorithm randomness drawn from the per-node streams (Proposition
+/// 4.3) while sharing the one master seed.
 pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> ChromaticSchedule {
     let g = net.instance().model().graph();
     let n = g.node_count();
@@ -70,12 +83,16 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
     let diam = lds_graph::traversal::diameter(g) as usize;
     let locality = locality.min(diam.max(1));
     let h = power::power(g, locality + 1);
-    let mut rng = StdRng::seed_from_u64(net.seed() ^ 0xdec0_u64 ^ stream.wrapping_mul(0x9e37));
+    let mut rng = StreamRng::derive(net.seed(), streams::DECOMPOSITION)
+        .substream(stream)
+        .rng();
     let decomposition = linial_saks(&h, DecompositionParams::for_size(n), &mut rng);
 
-    // Group nodes into (color, cluster) buckets.
+    // Group clusters by (color, cluster id); members sorted by id.
     let members = decomposition.members();
-    let mut cluster_ids: Vec<usize> = (0..members.len()).collect();
+    let mut cluster_ids: Vec<usize> = (0..members.len())
+        .filter(|&cid| !members[cid].is_empty())
+        .collect();
     cluster_ids.sort_by_key(|&cid| {
         let color = members[cid]
             .first()
@@ -83,18 +100,26 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
             .unwrap_or(UNCLUSTERED);
         (color, cid)
     });
-    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut color_clusters: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); decomposition.colors];
     for &cid in &cluster_ids {
         let mut m = members[cid].clone();
         m.sort_unstable();
-        order.extend_from_slice(&m);
+        let color = decomposition.color[m[0].index()] as usize;
+        color_clusters[color].push(m);
     }
     // failed nodes last (they output defaults and carry F″ = 1)
-    for v in 0..n {
-        if decomposition.failed[v] {
-            order.push(NodeId::from_index(v));
-        }
-    }
+    let tail: Vec<NodeId> = (0..n)
+        .filter(|&v| decomposition.failed[v])
+        .map(NodeId::from_index)
+        .collect();
+    let order: Vec<NodeId> = color_clusters
+        .iter()
+        .flatten()
+        .flatten()
+        .chain(tail.iter())
+        .copied()
+        .collect();
+    debug_assert_eq!(order.len(), n);
 
     // Round cost: per color, gather cluster + halo and disseminate.
     let radius_by_color = decomposition.weak_radius_by_color(g);
@@ -109,8 +134,79 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
         colors: decomposition.colors,
         max_weak_radius: decomposition.max_weak_radius(g),
         order,
+        color_clusters,
+        tail,
         decomposition,
     }
+}
+
+/// Runs a pinning-extension kernel under the chromatic schedule with
+/// same-color clusters simulated **concurrently** on the pool — the
+/// literal parallel simulation of Lemma 3.1, replacing the sequential
+/// within-color scan.
+///
+/// Colors are processed in order; within a color every cluster scans its
+/// members sequentially against a snapshot of the pins accumulated
+/// through the previous colors. Same-color clusters are at pairwise
+/// distance `> r + 1`, so (under the kernel's locality contract) no
+/// cluster can observe another's pins, and the merged result is
+/// **bit-identical** to [`crate::slocal::run_kernel_sequential`] on
+/// `schedule.order` — at any pool width. Unclustered (failed) nodes are
+/// processed sequentially at the end, exactly as in the sequential scan.
+pub fn run_kernel_chromatic<K: SlocalKernel + ?Sized>(
+    net: &Network,
+    kernel: &K,
+    schedule: &ChromaticSchedule,
+    pool: &ThreadPool,
+) -> SlocalRun<Value> {
+    if pool.is_sequential() {
+        // the sequential scan is the same execution without the
+        // per-cluster pinning snapshots — one O(n) state for the whole
+        // schedule instead of one clone per cluster
+        return crate::slocal::run_kernel_sequential(net, kernel, &schedule.order);
+    }
+    let n = net.node_count();
+    let mut sigma = net.instance().pinning().clone();
+    let mut failures = vec![false; n];
+    for clusters in &schedule.color_clusters {
+        let sigma_snapshot = &sigma;
+        let runs: Vec<Vec<(NodeId, Value, bool)>> = pool.par_map(clusters, |cluster| {
+            let mut local = sigma_snapshot.clone();
+            let mut out = Vec::with_capacity(cluster.len());
+            for &v in cluster {
+                if local.is_pinned(v) {
+                    continue;
+                }
+                let (val, fail) = kernel.process(net, &local, v);
+                local.pin(v, val);
+                out.push((v, val, fail));
+            }
+            out
+        });
+        // merge in cluster order — the order the sequential scan uses
+        for cluster_out in runs {
+            for (v, val, fail) in cluster_out {
+                failures[v.index()] = fail;
+                sigma.pin(v, val);
+            }
+        }
+    }
+    for &v in &schedule.tail {
+        if sigma.is_pinned(v) {
+            continue;
+        }
+        let (val, fail) = kernel.process(net, &sigma, v);
+        failures[v.index()] = fail;
+        sigma.pin(v, val);
+    }
+    let outputs: Vec<Value> = (0..n)
+        .map(|i| {
+            sigma
+                .get(NodeId::from_index(i))
+                .expect("schedule visits every free node")
+        })
+        .collect();
+    SlocalRun { outputs, failures }
 }
 
 /// Runs an SLOCAL algorithm as a LOCAL algorithm via the chromatic
@@ -146,6 +242,8 @@ mod tests {
     use lds_gibbs::models::hardcore;
     use lds_gibbs::PartialConfig;
     use lds_graph::{generators, ordering, traversal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn net(n_side: usize, seed: u64) -> Network {
         let g = generators::torus(n_side, n_side);
@@ -192,6 +290,70 @@ mod tests {
                         dist[v.index()]
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn color_clusters_flatten_to_the_order() {
+        for seed in 0..5 {
+            let net = net(5, seed);
+            let s = chromatic_schedule(&net, 2, 0);
+            let flat: Vec<_> = s
+                .color_clusters
+                .iter()
+                .flatten()
+                .flatten()
+                .chain(s.tail.iter())
+                .copied()
+                .collect();
+            assert_eq!(flat, s.order);
+            for (color, clusters) in s.color_clusters.iter().enumerate() {
+                for cluster in clusters {
+                    assert!(!cluster.is_empty(), "color {color} has an empty cluster");
+                    for &v in cluster {
+                        assert_eq!(s.decomposition.color[v.index()], color as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A locality-1 kernel whose value at `v` depends on the pins of
+    /// `v`'s neighbors and `v`'s private randomness — enough to expose
+    /// any divergence between the parallel and sequential scans.
+    struct ParityKernel;
+
+    impl crate::slocal::SlocalKernel for ParityKernel {
+        fn process(
+            &self,
+            net: &Network,
+            sigma: &lds_gibbs::PartialConfig,
+            v: lds_graph::NodeId,
+        ) -> (lds_gibbs::Value, bool) {
+            use rand::Rng;
+            let g = net.instance().model().graph();
+            let occupied = g
+                .neighbors(v)
+                .filter(|&&w| sigma.get(w) == Some(lds_gibbs::Value(1)))
+                .count();
+            let coin = net.node_rng(v, 7).gen_bool(0.5) as usize;
+            (lds_gibbs::Value::from_index((occupied + coin) % 2), false)
+        }
+    }
+
+    #[test]
+    fn chromatic_kernel_run_matches_sequential_scan_bitwise() {
+        use crate::slocal::run_kernel_sequential;
+        use lds_runtime::ThreadPool;
+        for seed in 0..4 {
+            let net = net(5, seed);
+            let s = chromatic_schedule(&net, 1, 0);
+            let seq = run_kernel_sequential(&net, &ParityKernel, &s.order);
+            for threads in [1, 2, 8] {
+                let par = run_kernel_chromatic(&net, &ParityKernel, &s, &ThreadPool::new(threads));
+                assert_eq!(par.outputs, seq.outputs, "seed {seed} threads {threads}");
+                assert_eq!(par.failures, seq.failures);
             }
         }
     }

@@ -14,6 +14,7 @@
 //! `r_1, ..., r_k` collapses to a single pass with locality
 //! `r_1 + 2·(r_2 + ... + r_k)`, and write-radius `w` folds into `r + w`.
 
+use lds_gibbs::{PartialConfig, Value};
 use lds_graph::NodeId;
 
 use crate::Network;
@@ -53,6 +54,62 @@ pub trait SlocalAlgorithm {
 
     /// Processes all nodes sequentially in the given order.
     fn run_sequential(&self, net: &Network, order: &[NodeId]) -> SlocalRun<Self::Output>;
+}
+
+/// A *pinning-extension* SLOCAL algorithm, factored into its per-node
+/// kernel.
+///
+/// Most of the paper's sequential algorithms (the Theorem 3.2 chain-rule
+/// sampler, `local-JVV`'s ground-state and sampling passes) share one
+/// shape: the scan state is exactly the pinning of already-processed
+/// nodes, and processing node `v_i` computes a [`Value`] from the pins
+/// within distance `r` of `v_i` plus `v_i`'s private randomness. A
+/// kernel exposes that per-node step so the chromatic scheduler can
+/// simulate same-color clusters **concurrently** (Lemma 3.1's parallel
+/// cluster simulation, [`crate::scheduler::run_kernel_chromatic`])
+/// instead of scanning the ordering one node at a time.
+///
+/// Contract (trusted, as with [`SlocalAlgorithm`]): `process` may depend
+/// only on the instance within the algorithm's locality of `v`, the pins
+/// of `sigma` within that radius, and `v`'s private randomness from
+/// `net`. Under that contract the concurrent simulation is
+/// execution-equivalent to [`run_kernel_sequential`] on the schedule's
+/// ordering — property-tested in `tests/parallel.rs`.
+pub trait SlocalKernel: Sync {
+    /// Computes node `v`'s output from the pins of previously processed
+    /// nodes. Returns the value and a Las Vegas failure bit.
+    fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool);
+}
+
+/// Runs a kernel as the classic sequential SLOCAL scan over `order`:
+/// process each free node in order, pinning its output. Nodes pinned by
+/// the instance keep their pinned value and are never processed.
+///
+/// `order` must visit every free node (schedule orderings do).
+pub fn run_kernel_sequential<K: SlocalKernel + ?Sized>(
+    net: &Network,
+    kernel: &K,
+    order: &[NodeId],
+) -> SlocalRun<Value> {
+    let n = net.node_count();
+    let mut sigma = net.instance().pinning().clone();
+    let mut failures = vec![false; n];
+    for &v in order {
+        if sigma.is_pinned(v) {
+            continue;
+        }
+        let (val, fail) = kernel.process(net, &sigma, v);
+        failures[v.index()] = fail;
+        sigma.pin(v, val);
+    }
+    let outputs: Vec<Value> = (0..n)
+        .map(|i| {
+            sigma
+                .get(NodeId::from_index(i))
+                .expect("order visits every free node")
+        })
+        .collect();
+    SlocalRun { outputs, failures }
 }
 
 /// Locality of the single-pass equivalent of a multi-pass SLOCAL

@@ -33,7 +33,7 @@ mod decay;
 mod enumeration;
 pub mod saw;
 
-pub use boosting::{BoostedOracle, MultiplicativeInference};
+pub use boosting::{marginals_mul_batch, BoostedOracle, MultiplicativeInference};
 pub use decay::DecayRate;
 pub use enumeration::EnumerationOracle;
 pub use saw::TwoSpinSawOracle;

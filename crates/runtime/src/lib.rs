@@ -1,0 +1,36 @@
+//! Deterministic parallel runtime for the lds workspace.
+//!
+//! The paper's SLOCAL→LOCAL transformation (Lemma 3.1) is defined by
+//! *parallel* simulation of same-color clusters, and every multi-seed
+//! workload (batched sampling, Monte Carlo marginal reconstruction,
+//! boosted-inference trials) consists of independent executions. This
+//! crate supplies the two ingredients that let the workspace exploit that
+//! parallelism without giving up reproducibility:
+//!
+//! * [`ThreadPool`] — a dependency-free `std::thread` work-stealing pool.
+//!   Workers self-schedule by stealing the next unclaimed item index from
+//!   a shared atomic counter; results are gathered **in input order**, so
+//!   [`ThreadPool::par_map`] is a drop-in replacement for a sequential
+//!   `map` regardless of how the OS schedules the workers.
+//! * [`StreamRng`] — counter-based derivation of independent RNG streams
+//!   from `(seed, label, label, ...)` paths. Because every parallel task
+//!   derives its own stream instead of sharing mutable RNG state, the
+//!   bits a task consumes are a pure function of the master seed and the
+//!   task's identity — never of thread interleaving. This is what makes
+//!   every result of the workspace **bit-identical across thread
+//!   counts** (locked down by `tests/determinism.rs`).
+//!
+//! The pool width is configured explicitly (e.g.
+//! `EngineBuilder::threads(n)` in `lds-engine`); [`ThreadPool::from_env`]
+//! honors the `LDS_THREADS` environment variable used by the CI matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod phase;
+mod pool;
+mod stream;
+
+pub use phase::Phase;
+pub use pool::ThreadPool;
+pub use stream::{splitmix64, streams, StreamRng};

@@ -1,0 +1,32 @@
+//! Per-phase execution accounting.
+
+use std::time::Duration;
+
+/// One timed phase of a task execution: a name, its wall-clock time, and
+/// the simulated LOCAL rounds charged to it.
+///
+/// The engine attaches a `Vec<Phase>` to every `RunReport` so callers
+/// can see where time went (schedule construction vs. the algorithm's
+/// passes) without re-instrumenting the internals. Round accounting is
+/// an invariant: the phase rounds of a report sum to its total `rounds`.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Phase name (`"schedule"`, `"ground"`, `"sample"`, `"reject"`,
+    /// `"scan"`, `"oracle"`, ...).
+    pub name: &'static str,
+    /// Wall-clock time spent in this phase.
+    pub wall_time: Duration,
+    /// Simulated LOCAL rounds charged to this phase.
+    pub rounds: usize,
+}
+
+impl Phase {
+    /// Creates a phase record.
+    pub fn new(name: &'static str, wall_time: Duration, rounds: usize) -> Self {
+        Phase {
+            name,
+            wall_time,
+            rounds,
+        }
+    }
+}

@@ -26,6 +26,9 @@
 //!   applications.
 //! * [`ssm`] — strong spatial mixing estimation, rate fitting, the phase
 //!   transition and the `Ω(diam)` lower-bound witness.
+//! * [`runtime`] — the deterministic parallel runtime: a work-stealing
+//!   `std::thread` pool and counter-based RNG stream derivation, so
+//!   every result is bit-identical regardless of thread count.
 //!
 //! # Quickstart
 //!
@@ -69,4 +72,5 @@ pub use lds_gibbs as gibbs;
 pub use lds_graph as graph;
 pub use lds_localnet as localnet;
 pub use lds_oracle as oracle;
+pub use lds_runtime as runtime;
 pub use lds_ssm as ssm;

@@ -14,7 +14,7 @@ use lds::oracle::{
 
 /// Runs JVV `trials` times and returns (success rate, TV of accepted
 /// empirical distribution vs exact, total clamped).
-fn jvv_statistics<O: MultiplicativeInference>(
+fn jvv_statistics<O: MultiplicativeInference + Sync>(
     model: &GibbsModel,
     oracle: &O,
     eps: f64,
