@@ -1,0 +1,91 @@
+//! Pool-reuse bench: per-call overhead of the persistent worker pool
+//! vs. the old per-call scoped-spawn strategy.
+//!
+//! PR 2's pool spawned scoped workers on **every** `par_map` call; the
+//! persistent pool parks its workers once and ships jobs over a channel,
+//! so a chromatic schedule with many small colors (many small `par_map`
+//! calls) pays the thread-spawn cost once per engine instead of once per
+//! color. This bench measures exactly that regime — many calls, few
+//! items, negligible per-item work — and compares against a local
+//! reimplementation of the scoped-spawn baseline.
+//!
+//! Acceptance tracked by CI telemetry: at width 1 both strategies run
+//! inline, so the persistent pool's per-call overhead must be no worse
+//! than the scoped baseline's; at width > 1 the persistent pool should
+//! win by roughly the thread spawn+join cost per call.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_bench::scoped_par_map;
+use lds_runtime::ThreadPool;
+
+/// The many-small-calls workload: `calls` par_maps of `items` cheap
+/// items each (a few hundred ns of work per item, like a small cluster
+/// scan on a tiny graph).
+fn small_item(x: &u64) -> u64 {
+    (0..32u64).fold(*x, |a, b| a.wrapping_mul(0x9e37_79b9).wrapping_add(b))
+}
+
+const CALLS: usize = 64;
+const ITEMS: usize = 8;
+
+fn bench_many_small_calls(c: &mut Criterion) {
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let mut group = c.benchmark_group("pool_many_small_calls");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("persistent", threads), &threads, |b, _| {
+            b.iter(|| {
+                for _ in 0..CALLS {
+                    criterion::black_box(pool.par_map(&items, small_item));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scoped", threads), &threads, |b, _| {
+            b.iter(|| {
+                for _ in 0..CALLS {
+                    criterion::black_box(scoped_par_map(threads, &items, small_item));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn overhead_table(_c: &mut Criterion) {
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    println!(
+        "\npool reuse: {CALLS} calls x {ITEMS} items, available parallelism {}",
+        ThreadPool::available().threads()
+    );
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        // warmup parks the workers and faults in the code paths
+        for _ in 0..4 {
+            let a = pool.par_map(&items, small_item);
+            let b = scoped_par_map(threads, &items, small_item);
+            assert_eq!(a, b, "strategies disagree at width {threads}");
+        }
+        let start = Instant::now();
+        for _ in 0..CALLS {
+            criterion::black_box(pool.par_map(&items, small_item));
+        }
+        let persistent = start.elapsed();
+        let start = Instant::now();
+        for _ in 0..CALLS {
+            criterion::black_box(scoped_par_map(threads, &items, small_item));
+        }
+        let scoped = start.elapsed();
+        println!(
+            "  threads {threads}: persistent {:>8.0} ns/call   scoped {:>8.0} ns/call   ({:.2}x)",
+            persistent.as_nanos() as f64 / CALLS as f64,
+            scoped.as_nanos() as f64 / CALLS as f64,
+            scoped.as_secs_f64() / persistent.as_secs_f64(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_many_small_calls, overhead_table);
+criterion_main!(benches);

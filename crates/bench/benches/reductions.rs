@@ -20,7 +20,7 @@ fn bench_sequential_sampler(c: &mut Criterion) {
         let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
         let net = Network::new(Instance::unconditioned(model), 1);
         let order = ordering::identity(&g);
-        let sampler = SequentialSampler::new(&oracle, 0.05);
+        let sampler = SequentialSampler::new(oracle.clone(), 0.05);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| sampler.run_sequential(&net, &order))
         });

@@ -56,7 +56,7 @@ fn e1() {
             let oracle = saw(1.0, 0.5);
             let tt = oracle.radius(n, delta / n as f64);
             let net = Network::new(Instance::unconditioned(model.clone()), 17);
-            let sampler = SequentialSampler::new(&oracle, delta);
+            let sampler = SequentialSampler::new(oracle.clone(), delta);
             let (run, schedule) = scheduler::run_slocal_in_local(&net, &sampler, 0);
             let tv = if n <= 8 {
                 let trials = 5000usize;

@@ -1,0 +1,280 @@
+//! CI perf telemetry: run the tracked `runtime` / `jvv` workloads in
+//! quick mode, emit a `BENCH_runtime.json` summary (median ns per op,
+//! pool width, git sha), and fail if any tracked metric regressed more
+//! than 25% against the committed `bench/baseline.json`.
+//!
+//! ```sh
+//! cargo run -p lds-bench --release --bin perf_telemetry -- \
+//!     --out BENCH_runtime.json --baseline bench/baseline.json
+//! ```
+//!
+//! Flags: `--out PATH` (default `BENCH_runtime.json`), `--baseline PATH`
+//! (skip the gate when absent), `--quick` (fewer samples — what CI
+//! runs), `--write-baseline` (also rewrite the baseline file with the
+//! fresh numbers, for refreshing the committed reference on purpose).
+//!
+//! Two gates:
+//!
+//! * **regression gate** — each metric present in both the run and the
+//!   baseline must be `≤ 1.25×` its baseline median;
+//! * **pool-reuse gate** — the persistent pool's per-call cost at width
+//!   1 must be no worse than the scoped-spawn baseline's (with a small
+//!   absolute allowance for timer noise: both paths are an inline map).
+//!
+//! The JSON is hand-rolled (the container vendors no serde); the
+//! baseline reader scans for `"key": number` pairs, so the file format
+//! is deliberately flat.
+
+use std::process::Command;
+use std::time::Instant;
+
+use lds_bench::scoped_par_map;
+use lds_engine::{Engine, ModelSpec, Task};
+use lds_graph::generators;
+use lds_runtime::ThreadPool;
+
+/// Median of a sample vector (ns).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Times `body` `samples` times (after one warmup) and returns the
+/// median ns per call, where `body` performs `per_sample_ops` ops.
+fn measure<F: FnMut()>(samples: usize, per_sample_ops: usize, mut body: F) -> f64 {
+    body(); // warmup
+    let mut xs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        body();
+        xs.push(start.elapsed().as_nanos() as f64 / per_sample_ops as f64);
+    }
+    median(xs)
+}
+
+fn small_item(x: &u64) -> u64 {
+    (0..32u64).fold(*x, |a, b| a.wrapping_mul(0x9e37_79b9).wrapping_add(b))
+}
+
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extracts every `"key": <number>` pair from a flat JSON text. Tolerant
+/// by construction: non-numeric values are skipped, nesting is ignored.
+fn parse_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = text[i + 1..].find('"').map(|e| i + 1 + e) else {
+            break;
+        };
+        let key = &text[i + 1..end];
+        let mut j = end + 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b':' {
+            j += 1;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let num_end = text[j..]
+                .find(|c: char| {
+                    !(c.is_ascii_digit()
+                        || c == '.'
+                        || c == '-'
+                        || c == 'e'
+                        || c == 'E'
+                        || c == '+')
+                })
+                .map(|e| j + e)
+                .unwrap_or(text.len());
+            if let Ok(v) = text[j..num_end].parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+            i = num_end;
+        } else {
+            i = end + 1;
+        }
+    }
+    out
+}
+
+fn render_json(sha: &str, quick: bool, metrics: &[(String, f64)]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"git_sha\": \"{sha}\",\n"));
+    s.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        ThreadPool::available().threads()
+    ));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("    \"{k}\": {v:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let baseline_path = flag("--baseline");
+    let quick = args.iter().any(|a| a == "--quick");
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let samples = if quick { 9 } else { 25 };
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
+    // --- pool-reuse metrics: many small par_map calls per sample ---
+    const CALLS: usize = 64;
+    let items: Vec<u64> = (0..8).collect();
+    for width in [1usize, 4] {
+        let pool = ThreadPool::new(width);
+        let persistent = measure(samples, CALLS, || {
+            for _ in 0..CALLS {
+                std::hint::black_box(pool.par_map(&items, small_item));
+            }
+        });
+        let scoped = measure(samples, CALLS, || {
+            for _ in 0..CALLS {
+                std::hint::black_box(scoped_par_map(width, &items, small_item));
+            }
+        });
+        metrics.push((format!("pool_par_map_w{width}_ns"), persistent));
+        metrics.push((format!("scoped_par_map_w{width}_ns"), scoped));
+    }
+
+    // --- engine batch throughput, width 1 (the sequential reference the
+    // runtime bench compares widths against) ---
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(generators::cycle(10))
+        .epsilon(0.01)
+        .threads(1)
+        .build()
+        .expect("in regime");
+    let seeds: Vec<u64> = (0..8).collect();
+    let batch_ns = measure(samples.min(11), seeds.len(), || {
+        std::hint::black_box(engine.run_batch(Task::SampleExact, &seeds).unwrap());
+    });
+    metrics.push(("run_batch_per_sample_ns".to_string(), batch_ns));
+
+    // --- local-JVV per-pass wall clock (the jvv bench's serving-path
+    // phases), width 1 on a torus ---
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(generators::torus(4, 4))
+        .epsilon(0.01)
+        .threads(1)
+        .build()
+        .expect("in regime");
+    let mut ground = Vec::new();
+    let mut sample = Vec::new();
+    let mut reject = Vec::new();
+    for rep in 0..samples.min(11) as u64 {
+        let report = engine.run_with_seed(Task::SampleExact, rep).unwrap();
+        for phase in &report.phases {
+            let ns = phase.wall_time.as_nanos() as f64;
+            match phase.name {
+                "ground" => ground.push(ns),
+                "sample" => sample.push(ns),
+                "reject" => reject.push(ns),
+                _ => {}
+            }
+        }
+    }
+    metrics.push(("jvv_pass1_ground_ns".to_string(), median(ground)));
+    metrics.push(("jvv_pass2_sample_ns".to_string(), median(sample)));
+    metrics.push(("jvv_pass3_reject_ns".to_string(), median(reject)));
+
+    let sha = git_sha();
+    let json = render_json(&sha, quick, &metrics);
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("wrote {out_path}:\n{json}");
+
+    let mut failed = false;
+
+    // pool-reuse gate: persistent no worse than scoped at width 1
+    // (inline vs inline; allow 15% + 100 ns for timer noise)
+    let get = |name: &str| -> f64 {
+        metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .expect("tracked metric")
+    };
+    let (p1, s1) = (get("pool_par_map_w1_ns"), get("scoped_par_map_w1_ns"));
+    if p1 > s1 * 1.15 + 100.0 {
+        eprintln!("FAIL pool-reuse gate: persistent width-1 per-call cost {p1:.0} ns exceeds scoped baseline {s1:.0} ns");
+        failed = true;
+    } else {
+        println!("pool-reuse gate: width-1 {p1:.0} ns vs scoped {s1:.0} ns — ok");
+    }
+
+    // regression gate against the committed baseline
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let baseline = parse_metrics(&text);
+                for (key, base) in &baseline {
+                    let Some((_, current)) = metrics.iter().find(|(k, _)| k == key) else {
+                        continue;
+                    };
+                    if *current > base * 1.25 {
+                        eprintln!(
+                            "FAIL regression gate: {key} = {current:.0} ns vs baseline {base:.0} ns (>{:.0}%)",
+                            (current / base - 1.0) * 100.0
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "regression gate: {key} = {current:.0} ns vs baseline {base:.0} ns ({:+.0}%) — ok",
+                            (current / base - 1.0) * 100.0
+                        );
+                    }
+                }
+                if write_baseline {
+                    std::fs::write(&path, &json).expect("write baseline");
+                    println!("rewrote baseline {path}");
+                }
+            }
+            Err(e) => {
+                if write_baseline {
+                    std::fs::write(&path, &json).expect("write baseline");
+                    println!("created baseline {path}");
+                } else {
+                    eprintln!("no baseline at {path} ({e}); skipping regression gate");
+                }
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -32,13 +32,16 @@
 //! locally computable acceptance. Success probability `≥ e^{−5n²ε}`,
 //! which is `1 − O(1/n)` at the paper's `ε = 1/n³`.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lds_gibbs::{distribution, Config, PartialConfig, Value};
 use lds_graph::{traversal, NodeId};
 use lds_localnet::local::LocalRun;
 use lds_localnet::scheduler::{self, ChromaticSchedule};
-use lds_localnet::slocal::{self, multipass_locality, SlocalAlgorithm, SlocalKernel, SlocalRun};
+use lds_localnet::slocal::{
+    self, multipass_locality, ScanKernel, SlocalAlgorithm, SlocalKernel, SlocalRun,
+};
 use lds_localnet::Network;
 use lds_oracle::MultiplicativeInference;
 use lds_runtime::ThreadPool;
@@ -81,7 +84,10 @@ pub struct LocalJvv<'a, O> {
     eps: f64,
 }
 
-impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
+impl<'a, O> LocalJvv<'a, O>
+where
+    O: MultiplicativeInference + Clone + Send + Sync + 'static,
+{
     /// Creates the sampler over a multiplicative-error oracle with
     /// per-marginal error `ε`.
     ///
@@ -110,32 +116,54 @@ impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
         (-5.0 * (n * n) as f64 * self.eps).exp()
     }
 
-    fn prefix_pinning(
-        base: &PartialConfig,
-        order: &[NodeId],
-        config: &Config,
-        upto: usize,
-    ) -> PartialConfig {
-        let mut p = base.clone();
-        for &u in &order[..upto] {
-            p.pin(u, config.get(u));
-        }
-        p
-    }
-
-    /// The pass-1 kernel (ground state σ₀).
-    fn ground_kernel(&self) -> GroundKernel<'_, O> {
+    /// The pass-1 kernel (ground state σ₀). Kernels own a clone of the
+    /// oracle so they can ship to the pool's workers as `'static` jobs.
+    fn ground_kernel(&self) -> GroundKernel<O> {
         GroundKernel {
-            oracle: self.oracle,
+            oracle: self.oracle.clone(),
             eps: self.eps,
         }
     }
 
     /// The pass-2 kernel (random configuration `Y`).
-    fn chain_kernel(&self) -> ChainKernel<'_, O> {
+    fn chain_kernel(&self) -> ChainKernel<O> {
         ChainKernel {
-            oracle: self.oracle,
+            oracle: self.oracle.clone(),
             eps: self.eps,
+        }
+    }
+
+    /// The pass-3 kernel (local rejection), given the outputs of passes
+    /// 1 and 2 over `order`.
+    fn reject_kernel(
+        &self,
+        net: &Network,
+        order: &[NodeId],
+        ground: SlocalRun<Value>,
+        sampled: SlocalRun<Value>,
+    ) -> RejectKernel<O> {
+        let model = net.instance().model();
+        let n = model.node_count();
+        let ell = model.locality().max(1);
+        let t = self.oracle.radius_mul(model, self.eps);
+        let mut pos = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        RejectKernel {
+            oracle: self.oracle.clone(),
+            eps: self.eps,
+            ctx: Arc::new(RejectContext {
+                order: order.to_vec(),
+                pos,
+                sigma0: Config::from_values(ground.outputs),
+                y: Config::from_values(sampled.outputs),
+                ground_failures: ground.failures,
+                t,
+                ell,
+                slack: self.slack(n),
+                locality: multipass_locality(&[t, t, 3 * t + ell]),
+            }),
         }
     }
 
@@ -144,15 +172,19 @@ impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
     pub fn run_detailed(&self, net: &Network, order: &[NodeId]) -> JvvOutcome {
         let ground = slocal::run_kernel_sequential(net, &self.ground_kernel(), order);
         let sampled = slocal::run_kernel_sequential(net, &self.chain_kernel(), order);
-        self.rejection_pass(net, order, ground, sampled)
+        let reject = self.reject_kernel(net, order, ground, sampled);
+        slocal::run_scan_sequential(net, &reject, order)
     }
 
-    /// Runs passes 1 and 2 with same-color clusters simulated
-    /// concurrently on the pool (they are pinning-extension kernels, so
-    /// Lemma 3.1's parallel cluster simulation applies verbatim), then
-    /// the rejection pass sequentially over the schedule's ordering.
-    /// Bit-identical to [`LocalJvv::run_detailed`] on `schedule.order`
-    /// at any pool width; also returns per-pass wall-clock times.
+    /// Runs all three passes with same-color clusters simulated
+    /// concurrently on the pool. Passes 1–2 are pinning-extension
+    /// kernels, so Lemma 3.1's parallel cluster simulation applies
+    /// verbatim; pass 3 runs through the same chromatic engine as a
+    /// [`ScanKernel`] whose within-color resample decisions commute (see
+    /// the commutation proof on `RejectKernel` in this module's source).
+    /// Bit-identical to [`LocalJvv::run_detailed`] on
+    /// `schedule.order` at any pool width; also returns per-pass
+    /// wall-clock times.
     pub fn run_scheduled(
         &self,
         net: &Network,
@@ -167,14 +199,50 @@ impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
         let sampled = scheduler::run_kernel_chromatic(net, &self.chain_kernel(), schedule, pool);
         timings.sample = start.elapsed();
         let start = Instant::now();
-        let outcome = self.rejection_pass(net, &schedule.order, ground, sampled);
+        let reject = self.reject_kernel(net, &schedule.order, ground, sampled);
+        let outcome = scheduler::run_kernel_chromatic(net, &reject, schedule, pool);
         timings.reject = start.elapsed();
         (outcome, timings)
     }
 
+    /// The full **pre-refactor** three-pass sequential execution:
+    /// passes 1–2 as sequential kernel scans (unchanged by the pass-3
+    /// refactor) composed with [`LocalJvv::rejection_pass_reference`].
+    /// The pass-3 equivalence proptest (`tests/pass3_parallel.rs`)
+    /// compares [`LocalJvv::run_scheduled`] at every pool width against
+    /// this, bit for bit. Not part of the serving path.
+    #[doc(hidden)]
+    pub fn run_detailed_reference(&self, net: &Network, order: &[NodeId]) -> JvvOutcome {
+        let ground = slocal::run_kernel_sequential(net, &self.ground_kernel(), order);
+        let sampled = slocal::run_kernel_sequential(net, &self.chain_kernel(), order);
+        self.rejection_pass_reference(net, order, ground, sampled)
+    }
+
+    /// The refactored pass-3 kernel run sequentially over `order` from
+    /// the given pass-1/2 outputs — test hook for comparing the kernel
+    /// fold against [`LocalJvv::rejection_pass_reference`] on
+    /// hand-crafted inputs (e.g. synthetic ground-failure bits, which
+    /// the full pipeline only produces on infeasible-fallback paths).
+    #[doc(hidden)]
+    pub fn rejection_pass_scan(
+        &self,
+        net: &Network,
+        order: &[NodeId],
+        ground: SlocalRun<Value>,
+        sampled: SlocalRun<Value>,
+    ) -> JvvOutcome {
+        let reject = self.reject_kernel(net, order, ground, sampled);
+        slocal::run_scan_sequential(net, &reject, order)
+    }
+
     /// Pass 3 (local rejection) given the ground state and the sampled
-    /// configuration from passes 1 and 2.
-    fn rejection_pass(
+    /// configuration from passes 1 and 2 — the **frozen pre-refactor
+    /// sequential scan**, kept verbatim as the reference implementation
+    /// that the pass-3 equivalence proptest (`tests/pass3_parallel.rs`)
+    /// compares the [`RejectKernel`] execution against, bit for bit. Not
+    /// part of the serving path.
+    #[doc(hidden)]
+    pub fn rejection_pass_reference(
         &self,
         net: &Network,
         order: &[NodeId],
@@ -236,8 +304,8 @@ impl<'a, O: MultiplicativeInference + Sync> LocalJvv<'a, O> {
                 let j = pos[vj.index()];
                 let prev_val = sigma_prev.get(vj);
                 let new_val = sigma_i.get(vj);
-                let prefix_prev = Self::prefix_pinning(tau, order, &sigma_prev, j);
-                let prefix_new = Self::prefix_pinning(tau, order, &sigma_i, j);
+                let prefix_prev = prefix_pinning(tau, order, &sigma_prev, j);
+                let prefix_new = prefix_pinning(tau, order, &sigma_i, j);
                 if prev_val == new_val && prefix_prev == prefix_new {
                     continue;
                 }
@@ -314,12 +382,13 @@ pub struct JvvPassTimings {
 /// positive estimated marginal (positive estimate ⟹ positive truth by
 /// the multiplicative guarantee). Reads pins within the oracle radius
 /// `t`; failure only on the defensive fallback path.
-struct GroundKernel<'a, O> {
-    oracle: &'a O,
+#[derive(Clone)]
+struct GroundKernel<O> {
+    oracle: O,
     eps: f64,
 }
 
-impl<O: MultiplicativeInference + Sync> SlocalKernel for GroundKernel<'_, O> {
+impl<O: MultiplicativeInference + Sync> SlocalKernel for GroundKernel<O> {
     fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
         let model = net.instance().model();
         let q = model.alphabet_size();
@@ -339,18 +408,294 @@ impl<O: MultiplicativeInference + Sync> SlocalKernel for GroundKernel<'_, O> {
 
 /// Pass-2 kernel: sample `Y_v ~ μ̂^{Y_{<v}}_v` with `v`'s private
 /// randomness (stream [`STREAM_JVV_SAMPLE`]). Never fails.
-struct ChainKernel<'a, O> {
-    oracle: &'a O,
+#[derive(Clone)]
+struct ChainKernel<O> {
+    oracle: O,
     eps: f64,
 }
 
-impl<O: MultiplicativeInference + Sync> SlocalKernel for ChainKernel<'_, O> {
+impl<O: MultiplicativeInference + Sync> SlocalKernel for ChainKernel<O> {
     fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
         let model = net.instance().model();
         let mu = self.oracle.marginal_mul(model, sigma, v, self.eps);
         let mut rng = net.node_rng(v, STREAM_JVV_SAMPLE);
         (distribution::sample_from_marginal(&mu, &mut rng), false)
     }
+}
+
+/// Immutable context of one pass-3 execution, shared by every clone of
+/// the kernel (the chromatic runner clones the kernel into each worker
+/// job).
+struct RejectContext {
+    /// The scan ordering `π` (all nodes).
+    order: Vec<NodeId>,
+    /// `pos[v] = i` ⟺ `order[i] = v`.
+    pos: Vec<usize>,
+    /// Pass-1 output `σ₀` — the initial configuration path state.
+    sigma0: Config,
+    /// Pass-2 output `Y` — the candidate sample.
+    y: Config,
+    /// Pass-1 failure bits, carried into the final run (pass 2 never
+    /// fails).
+    ground_failures: Vec<bool>,
+    /// Oracle radius `t`.
+    t: usize,
+    /// Model locality `ℓ`.
+    ell: usize,
+    /// The slack factor `s = e^{−3nε}`.
+    slack: f64,
+    /// Single-pass folded locality (Lemma 4.4 on `[t, t, 3t + ℓ]`).
+    locality: usize,
+}
+
+/// Per-node effect of the rejection scan: the configuration-path delta
+/// plus the acceptance bookkeeping, replayed onto the global state in
+/// schedule order.
+struct RejectEffect {
+    /// Values `σ_i` takes where it differs from `σ_{i−1}` — confined to
+    /// `B_{max(t,ℓ)}(v_i)` by Claim 4.6's repair.
+    writes: Vec<(NodeId, Value)>,
+    /// The rejection bit of `v_i` (`F′` — OR-ed into the pass-1 bit,
+    /// exactly as the sequential scan does: a failure bit, once set, is
+    /// never cleared).
+    fail: bool,
+    /// Acceptance probability `q_{v_i}`; `None` when the feasibility
+    /// repair failed and no acceptance test ran.
+    q: Option<f64>,
+    /// Whether `q_{v_i}` had to be clamped to 1.
+    clamped: bool,
+}
+
+/// Pass-3 kernel: the local rejection scan of Theorem 4.2 as a
+/// [`ScanKernel`], so [`scheduler::run_kernel_chromatic`] can simulate
+/// same-color clusters concurrently — the last of the three `local-JVV`
+/// passes to go through Lemma 3.1's parallel cluster simulation.
+///
+/// **Why within-color resample decisions commute** (the equivalence
+/// proof the chromatic runner relies on; property-tested bit-for-bit in
+/// `tests/pass3_parallel.rs`):
+///
+/// Processing `v_i` (a) *writes* the configuration path only inside
+/// `B_W(v_i)` with `W = max(t, ℓ)` — Claim 4.6's repair changes
+/// `σ_{i−1} → σ_i` only inside the repair ball, and the greedy
+/// feasibility extension's choice at a free ball node depends only on
+/// factors touching it (range `ℓ`); and (b) *reads* the path only inside
+/// `B_R(v_i)` with `R = 2·max(t, ℓ) + ℓ + t = 3t + ℓ` for `t ≥ ℓ`: the
+/// density ratio visits nodes `v_j` within the cutoff `2·max(t, ℓ) + ℓ`
+/// and queries the oracle there, which by its multiplicative radius
+/// contract reads pins within a further `t` of `v_j` (the telescoping of
+/// Claim 4.7 — distant marginal calls see indistinguishable instances).
+/// The prefix-equality short-circuit is also `R`-local: the two prefixes
+/// it compares are built from `σ_{i−1}` and `σ_i`, which agree outside
+/// `B_W(v_i)`, so the comparison outcome is a function of the ball
+/// region alone. The global feasibility checks inside the repair are
+/// factor-local, and away from `B_R(v_i)` both the true sequential path
+/// state and a cluster's snapshot state are feasible configurations (the
+/// path invariant), so they decide identically.
+///
+/// The chromatic schedule separates same-color clusters by
+/// `> r + 1` in `G` with `r = t + 2(t + (3t + ℓ)) = 9t + 2ℓ` (Lemma 4.4
+/// folding of the three passes) — strictly more than the interaction
+/// bound `W + R = 4·max(t, ℓ) + t + ℓ` whenever `8t + 1 > 2ℓ` (always
+/// here: every model in the workspace has `ℓ = 1` and every oracle
+/// `t ≥ 0`, and when the schedule caps `r` at the graph diameter,
+/// same-color clusters land in different components and cannot interact
+/// at all). Hence no concurrent cluster can observe another's writes:
+/// processing order within a color is immaterial, i.e. the resample
+/// decisions commute, and replaying the effects in cluster order
+/// reproduces the sequential scan **bit for bit**. The acceptance
+/// product is likewise folded in schedule order ([`ScanKernel::finish`])
+/// so even its floating-point rounding sequence matches the sequential
+/// scan.
+#[derive(Clone)]
+struct RejectKernel<O> {
+    oracle: O,
+    eps: f64,
+    ctx: Arc<RejectContext>,
+}
+
+impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
+    /// One rejection step: build `σ_i` from `σ_{i−1}` (Claim 4.6),
+    /// compute the acceptance probability `q_{v_i}` (Claim 4.7), flip
+    /// `v_i`'s private coin. Pure function of the path state within
+    /// `B_R(v_i)`, the context, and `v_i`'s randomness.
+    fn step(&self, net: &Network, sigma_prev: &Config, vi: NodeId) -> RejectEffect {
+        let ctx = &*self.ctx;
+        let model = net.instance().model();
+        let tau = net.instance().pinning();
+        let g = model.graph();
+        let i = ctx.pos[vi.index()];
+        // σ_i: agree with Y on order[..=i], differ from σ_{i-1} only
+        // inside B_t(vi), stay feasible (Claim 4.6 via greedy repair).
+        let ball: Vec<NodeId> = traversal::ball(g, vi, ctx.t.max(ctx.ell));
+        let sigma_i = match repair(model, sigma_prev, &ctx.y, &ball, &ctx.pos, i) {
+            Some(c) => c,
+            None => {
+                return RejectEffect {
+                    writes: Vec::new(),
+                    fail: true,
+                    q: None,
+                    clamped: false,
+                }
+            }
+        };
+
+        // acceptance probability q_{v_i}
+        let cutoff = 2 * ctx.t.max(ctx.ell) + ctx.ell;
+        let dist = traversal::bfs_distances(g, vi);
+        let mut ratio = 1.0f64;
+        // density ratio μ̂^τ(σ_{i-1}) / μ̂^τ(σ_i): only scan positions
+        // within the cutoff ball differ.
+        for &vj in &ctx.order {
+            let d = dist[vj.index()];
+            if d == traversal::UNREACHABLE || d as usize > cutoff {
+                continue;
+            }
+            if tau.is_pinned(vj) {
+                continue;
+            }
+            let j = ctx.pos[vj.index()];
+            let prev_val = sigma_prev.get(vj);
+            let new_val = sigma_i.get(vj);
+            let prefix_prev = prefix_pinning(tau, &ctx.order, sigma_prev, j);
+            let prefix_new = prefix_pinning(tau, &ctx.order, &sigma_i, j);
+            if prev_val == new_val && prefix_prev == prefix_new {
+                continue;
+            }
+            let mu_prev = self.oracle.marginal_mul(model, &prefix_prev, vj, self.eps);
+            let mu_new = self.oracle.marginal_mul(model, &prefix_new, vj, self.eps);
+            let num = mu_prev[prev_val.index()];
+            let den = mu_new[new_val.index()];
+            if den > 0.0 {
+                ratio *= num / den;
+            }
+        }
+        // weight ratio w(σ_i) / w(σ_{i-1}): factors touching the ball
+        for &u in &ball {
+            for &fi in model.factors_touching(u) {
+                let f = &model.factors()[fi];
+                // count each factor once: at its minimum ball member
+                let first = f
+                    .scope()
+                    .iter()
+                    .filter(|s| {
+                        dist[s.index()] != traversal::UNREACHABLE
+                            && (dist[s.index()] as usize) <= ctx.t.max(ctx.ell)
+                    })
+                    .min()
+                    .copied();
+                if first != Some(u) {
+                    continue;
+                }
+                let w_new = f
+                    .eval_partial(|s| Some(sigma_i.get(s)))
+                    .expect("full config");
+                let w_prev = f
+                    .eval_partial(|s| Some(sigma_prev.get(s)))
+                    .expect("full config");
+                if w_prev > 0.0 {
+                    ratio *= w_new / w_prev;
+                }
+            }
+        }
+
+        let mut q_vi = ratio * ctx.slack;
+        let clamped = q_vi > 1.0;
+        if clamped {
+            q_vi = 1.0;
+        }
+        let mut rng = net.node_rng(vi, STREAM_JVV_REJECT);
+        let fail = !rng.gen_bool(q_vi.max(0.0));
+        let writes: Vec<(NodeId, Value)> = ball
+            .iter()
+            .filter(|&&u| sigma_i.get(u) != sigma_prev.get(u))
+            .map(|&u| (u, sigma_i.get(u)))
+            .collect();
+        RejectEffect {
+            writes,
+            fail,
+            q: Some(q_vi),
+            clamped,
+        }
+    }
+}
+
+impl<O: MultiplicativeInference + Sync> ScanKernel for RejectKernel<O> {
+    type State = Config;
+    type Effect = RejectEffect;
+    type Run = JvvOutcome;
+
+    fn init(&self, _net: &Network) -> Config {
+        self.ctx.sigma0.clone()
+    }
+
+    fn process(&self, net: &Network, state: &mut Config, v: NodeId) -> Option<RejectEffect> {
+        // every node runs its rejection step, pinned ones included —
+        // exactly like the sequential scan
+        let effect = self.step(net, state, v);
+        for &(u, val) in &effect.writes {
+            state.set(u, val);
+        }
+        Some(effect)
+    }
+
+    fn apply(&self, state: &mut Config, _v: NodeId, effect: &RejectEffect) {
+        for &(u, val) in &effect.writes {
+            state.set(u, val);
+        }
+    }
+
+    fn finish(
+        &self,
+        _net: &Network,
+        _state: Config,
+        effects: Vec<(NodeId, RejectEffect)>,
+    ) -> JvvOutcome {
+        let ctx = &*self.ctx;
+        let mut stats = JvvStats {
+            acceptance_product: 1.0,
+            locality: ctx.locality,
+            ..JvvStats::default()
+        };
+        // pass-1 fallback failures carry over; pass 2 never fails
+        let mut failures = ctx.ground_failures.clone();
+        // fold in schedule order: same floating-point op sequence as the
+        // sequential scan, at every pool width
+        for (v, effect) in effects {
+            // OR, don't assign: the sequential scan only ever *sets*
+            // failure bits, so a pass-1 fallback failure survives even
+            // when v's rejection coin passes
+            failures[v.index()] |= effect.fail;
+            match effect.q {
+                Some(q) => {
+                    stats.acceptance_product *= q;
+                    stats.clamped += effect.clamped as usize;
+                }
+                None => stats.repair_failures += 1,
+            }
+        }
+        let n = ctx.y.len();
+        let outputs: Vec<Value> = (0..n).map(|i| ctx.y.get(NodeId::from_index(i))).collect();
+        JvvOutcome {
+            run: SlocalRun { outputs, failures },
+            stats,
+        }
+    }
+}
+
+/// The pinning `τ ∧ (order[..upto] ↦ config)` — the prefix state the
+/// chain-rule density `μ̂^τ` conditions on at scan position `upto`.
+fn prefix_pinning(
+    base: &PartialConfig,
+    order: &[NodeId],
+    config: &Config,
+    upto: usize,
+) -> PartialConfig {
+    let mut p = base.clone();
+    for &u in &order[..upto] {
+        p.pin(u, config.get(u));
+    }
+    p
 }
 
 /// Claim 4.6 constructively: find `σ_i` agreeing with `Y` on scanned
@@ -389,7 +734,9 @@ fn repair(
     Some(full.to_config())
 }
 
-impl<O: MultiplicativeInference + Sync> SlocalAlgorithm for LocalJvv<'_, O> {
+impl<O: MultiplicativeInference + Clone + Send + Sync + 'static> SlocalAlgorithm
+    for LocalJvv<'_, O>
+{
     type Output = Value;
 
     fn locality(&self, _n: usize) -> usize {
@@ -409,7 +756,7 @@ impl<O: MultiplicativeInference + Sync> SlocalAlgorithm for LocalJvv<'_, O> {
 /// `O(t(n)·log² n)` rounds). Returns the LOCAL run (failures combine the
 /// rejection bits `F′` with the decomposition bits `F″`), the schedule,
 /// and the JVV statistics.
-pub fn sample_exact_local<O: MultiplicativeInference + Sync>(
+pub fn sample_exact_local<O: MultiplicativeInference + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     eps: f64,
@@ -432,7 +779,7 @@ pub struct ExactSampleTimings {
 /// [`sample_exact_local`] with passes 1–2 simulating same-color clusters
 /// concurrently on `pool` (bit-identical at any pool width), returning
 /// per-phase wall-clock times alongside the run.
-pub fn sample_exact_local_with<O: MultiplicativeInference + Sync>(
+pub fn sample_exact_local_with<O: MultiplicativeInference + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     eps: f64,

@@ -30,19 +30,23 @@ pub const STREAM_SEQ_SAMPLER: u64 = 1;
 ///
 /// Output: each node's sampled value `Y_v ∈ Σ`; the sampler itself never
 /// fails (failures only enter through the LOCAL transformation).
+///
+/// The sampler **owns** its oracle (oracles are cheap parameter structs;
+/// clone one in) so that, as the chromatic schedule's kernel, it can
+/// ship to the pool's long-lived workers inside a `'static` job.
 #[derive(Clone, Debug)]
-pub struct SequentialSampler<'a, O> {
-    oracle: &'a O,
+pub struct SequentialSampler<O> {
+    oracle: O,
     delta: f64,
 }
 
-impl<'a, O: InferenceOracle> SequentialSampler<'a, O> {
+impl<O: InferenceOracle> SequentialSampler<O> {
     /// Creates the sampler with output total-variation error `δ`.
     ///
     /// # Panics
     ///
     /// Panics if `δ ≤ 0`.
-    pub fn new(oracle: &'a O, delta: f64) -> Self {
+    pub fn new(oracle: O, delta: f64) -> Self {
         assert!(delta > 0.0, "error target must be positive");
         SequentialSampler { oracle, delta }
     }
@@ -62,7 +66,7 @@ impl<'a, O: InferenceOracle> SequentialSampler<'a, O> {
 /// `Y_v ~ μ̂^{τ ∧ σ}_v` with `v`'s private randomness. Reads only pins
 /// within the oracle radius `t` — the locality contract that makes the
 /// chromatic cluster-parallel simulation execution-equivalent.
-impl<O: InferenceOracle + Sync> SlocalKernel for SequentialSampler<'_, O> {
+impl<O: InferenceOracle + Sync> SlocalKernel for SequentialSampler<O> {
     fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
         let model = net.instance().model();
         let n = model.node_count();
@@ -73,7 +77,7 @@ impl<O: InferenceOracle + Sync> SlocalKernel for SequentialSampler<'_, O> {
     }
 }
 
-impl<O: InferenceOracle + Sync> SlocalAlgorithm for SequentialSampler<'_, O> {
+impl<O: InferenceOracle + Sync> SlocalAlgorithm for SequentialSampler<O> {
     type Output = Value;
 
     fn locality(&self, n: usize) -> usize {
@@ -89,7 +93,7 @@ impl<O: InferenceOracle + Sync> SlocalAlgorithm for SequentialSampler<'_, O> {
 /// composed with the Lemma 3.1 transformation. Conditioned on no failure
 /// the output follows `μ̂_{I,π}` with `d_TV(μ̂, μ^τ) ≤ δ` for the
 /// schedule's ordering `π`.
-pub fn sample_local<O: InferenceOracle + Sync>(
+pub fn sample_local<O: InferenceOracle + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     delta: f64,
@@ -113,14 +117,14 @@ pub struct ApproxSampleTimings {
 /// `pool` — the parallel form of Lemma 3.1. The result is bit-identical
 /// to the sequential version at any pool width; per-phase wall-clock
 /// times are returned alongside.
-pub fn sample_local_with<O: InferenceOracle + Sync>(
+pub fn sample_local_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     delta: f64,
     stream: u64,
     pool: &ThreadPool,
 ) -> (LocalRun<Value>, ChromaticSchedule, ApproxSampleTimings) {
-    let sampler = SequentialSampler::new(oracle, delta);
+    let sampler = SequentialSampler::new(oracle.clone(), delta);
     let n = net.node_count();
     let start = Instant::now();
     let schedule = scheduler::chromatic_schedule(net, sampler.locality(n), stream);
@@ -169,7 +173,7 @@ mod tests {
         let oracle = saw(1.5);
         for seed in 0..20 {
             let net = hc_net(9, 1.5, seed);
-            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let sampler = SequentialSampler::new(oracle.clone(), 0.1);
             let order = ordering::identity(net.instance().model().graph());
             let run = sampler.run_sequential(&net, &order);
             let config = Config::from_values(run.outputs.clone());
@@ -191,7 +195,7 @@ mod tests {
         let mut samples = Vec::with_capacity(trials);
         for seed in 0..trials as u64 {
             let net = Network::new(Instance::unconditioned(model.clone()), seed);
-            let sampler = SequentialSampler::new(&oracle, 0.02);
+            let sampler = SequentialSampler::new(oracle.clone(), 0.02);
             let order = ordering::identity(&g);
             let run = sampler.run_sequential(&net, &order);
             samples.push(Config::from_values(run.outputs));
@@ -213,7 +217,7 @@ mod tests {
         let oracle = saw(1.0);
         for seed in 0..10 {
             let net = Network::new(inst.clone(), seed);
-            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let sampler = SequentialSampler::new(oracle.clone(), 0.1);
             let run =
                 sampler.run_sequential(&net, &ordering::identity(net.instance().model().graph()));
             assert_eq!(run.outputs[0], Value(1));
@@ -239,7 +243,7 @@ mod tests {
         let oracle = EnumerationOracle::new(DecayRate::new(0.5, 2.0));
         for seed in 0..10 {
             let net = Network::new(Instance::unconditioned(model.clone()), seed);
-            let sampler = SequentialSampler::new(&oracle, 0.1);
+            let sampler = SequentialSampler::new(oracle.clone(), 0.1);
             let run = sampler.run_sequential(&net, &ordering::identity(&g));
             let config = Config::from_values(run.outputs);
             assert!(
@@ -260,7 +264,7 @@ mod tests {
         let mut occ_rev = 0usize;
         for seed in 0..trials as u64 {
             let net = Network::new(Instance::unconditioned(model.clone()), seed);
-            let sampler = SequentialSampler::new(&oracle, 0.02);
+            let sampler = SequentialSampler::new(oracle.clone(), 0.02);
             let a = sampler.run_sequential(&net, &ordering::identity(&g));
             if a.outputs[3] == Value(1) {
                 occ_id += 1;

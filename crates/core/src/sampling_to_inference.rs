@@ -17,6 +17,8 @@
 //! `1 − η`. Locality is untouched — each execution is a LOCAL run — only
 //! the per-node post-processing differs.
 
+use std::sync::Arc;
+
 use lds_gibbs::Value;
 use lds_localnet::Network;
 use lds_oracle::InferenceOracle;
@@ -55,7 +57,7 @@ pub fn repetitions_for(n: usize, q: usize, delta_s: f64, eta: f64) -> usize {
 /// Failed executions contribute their outputs too (the reduction reads
 /// the *unconditioned* marginal, which is what the `δ + ε₀` bound is
 /// about); the failure rate is reported separately.
-pub fn marginals_by_sampling<O: InferenceOracle + Sync>(
+pub fn marginals_by_sampling<O: InferenceOracle + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     delta: f64,
@@ -75,7 +77,7 @@ pub fn marginals_by_sampling<O: InferenceOracle + Sync>(
 /// [`marginals_by_sampling`] with the independent Monte Carlo executions
 /// fanned out across the pool. Each repetition derives its own network
 /// seed, so the estimate is bit-identical at any pool width.
-pub fn marginals_by_sampling_with<O: InferenceOracle + Sync>(
+pub fn marginals_by_sampling_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     delta: f64,
@@ -93,9 +95,13 @@ pub fn marginals_by_sampling_with<O: InferenceOracle + Sync>(
     let chunk = (pool.threads() * 16).max(64);
     let reps: Vec<u64> = (0..repetitions as u64).collect();
     for chunk_reps in reps.chunks(chunk) {
-        let runs = pool.par_map(chunk_reps, |&rep| {
-            let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep));
-            let sampler = SequentialSampler::new(oracle, delta);
+        // ship owned context to the pool's 'static jobs: the instance by
+        // Arc, the oracle by clone (cheap parameter struct)
+        let instance = net.shared_instance();
+        let oracle = oracle.clone();
+        let runs = pool.par_map(chunk_reps, move |&rep| {
+            let run_net = Network::from_shared(Arc::clone(&instance), seed0.wrapping_add(rep));
+            let sampler = SequentialSampler::new(oracle.clone(), delta);
             let (run, _schedule) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
             run
         });
@@ -127,7 +133,7 @@ pub fn marginals_by_sampling_with<O: InferenceOracle + Sync>(
 
 /// Convenience: the marginal of a single node from the reduction (for
 /// tests and experiments that only probe one vertex).
-pub fn node_marginal_by_sampling<O: InferenceOracle + Sync>(
+pub fn node_marginal_by_sampling<O: InferenceOracle + Clone + Send + Sync + 'static>(
     net: &Network,
     oracle: &O,
     delta: f64,
@@ -139,7 +145,7 @@ pub fn node_marginal_by_sampling<O: InferenceOracle + Sync>(
     let mut counts = vec![0usize; q];
     for rep in 0..repetitions {
         let run_net = Network::from_shared(net.shared_instance(), seed0.wrapping_add(rep as u64));
-        let sampler = SequentialSampler::new(oracle, delta);
+        let sampler = SequentialSampler::new(oracle.clone(), delta);
         let (run, _) = scheduler::run_slocal_in_local(&run_net, &sampler, 0);
         counts[run.outputs[v.index()].index()] += 1;
     }

@@ -46,7 +46,7 @@ proptest! {
             1 => ordering::reverse(&g),
             _ => ordering::bfs_from(&g, NodeId(0)),
         };
-        let run = SequentialSampler::new(&oracle, 0.1).run_sequential(&net, &order);
+        let run = SequentialSampler::new(oracle.clone(), 0.1).run_sequential(&net, &order);
         let config = Config::from_values(run.outputs);
         prop_assert!(model.weight(&config) > 0.0);
     }

@@ -56,17 +56,28 @@ enum Decoder {
 /// assert_eq!(report.config().unwrap().len(), 10);
 /// ```
 pub struct Engine {
+    /// Everything the engine owns lives behind one `Arc` so that batch
+    /// fan-out can ship `'static` jobs to the pool's long-lived workers
+    /// (each job captures a clone of this handle, never a borrow).
+    core: Arc<EngineCore>,
+}
+
+/// The engine's shared innards; see [`Engine`].
+struct EngineCore {
     spec: ModelSpec,
     topology: Topology,
     instance: Arc<Instance>,
-    oracle: Box<dyn TaskOracle + Send + Sync>,
+    oracle: Arc<dyn TaskOracle + Send + Sync>,
     decoder: Decoder,
     rate: f64,
     bound_rounds: f64,
     epsilon: f64,
     delta: f64,
     seed: u64,
-    pool: ThreadPool,
+    /// One persistent pool shared (via `Arc`) by batch fan-out,
+    /// chromatic kernels, and boosting trials — workers spawn once at
+    /// build time, not per call.
+    pool: Arc<ThreadPool>,
 }
 
 /// Builder for [`Engine`]; see [`Engine::builder`].
@@ -184,16 +195,16 @@ impl EngineBuilder {
                     message: "the pool needs at least one thread".into(),
                 })
             }
-            Some(n) => ThreadPool::new(n),
-            None => ThreadPool::from_env(),
+            Some(n) => Arc::new(ThreadPool::new(n)),
+            None => Arc::new(ThreadPool::from_env()),
         };
         let topology = self.topology.ok_or(EngineError::MissingTopology {
             expected: spec.expected_topology(),
         })?;
 
         // regime check + model/oracle/decoder construction, per spec
-        type BoxedOracle = Box<dyn TaskOracle + Send + Sync>;
-        let (model, oracle, decoder, rate, bound_rounds): (_, BoxedOracle, _, f64, f64) =
+        type SharedOracle = Arc<dyn TaskOracle + Send + Sync>;
+        let (model, oracle, decoder, rate, bound_rounds): (_, SharedOracle, _, f64, f64) =
             match &spec {
                 ModelSpec::Hardcore { lambda } => {
                     let g = require_graph(&topology)?;
@@ -201,7 +212,7 @@ impl EngineBuilder {
                     let bound = complexity::ssm_rounds_bound(rate.min(0.95), g.node_count(), 1.0);
                     (
                         hardcore::model(g, *lambda),
-                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Arc::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
                         Decoder::Spins,
                         rate,
                         bound,
@@ -215,7 +226,7 @@ impl EngineBuilder {
                     let inst = MatchingInstance::new(g, *lambda);
                     (
                         inst.model().clone(),
-                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Arc::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
                         Decoder::Matching(inst),
                         rate,
                         bound,
@@ -228,7 +239,7 @@ impl EngineBuilder {
                     let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
                     (
                         two_spin::model(g, params.to_two_spin()),
-                        Box::new(saw_oracle(params.to_two_spin(), rate)),
+                        Arc::new(saw_oracle(params.to_two_spin(), rate)),
                         Decoder::Spins,
                         rate,
                         bound,
@@ -246,7 +257,7 @@ impl EngineBuilder {
                     let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
                     (
                         two_spin::model(g, params),
-                        Box::new(saw_oracle(params, rate)),
+                        Arc::new(saw_oracle(params, rate)),
                         Decoder::Spins,
                         rate,
                         bound,
@@ -258,7 +269,7 @@ impl EngineBuilder {
                     let bound = complexity::log3_rounds_bound(g.node_count(), 1.0);
                     (
                         coloring::model(g, *q),
-                        Box::new(BoostedEnumeration::new(DecayRate::new(
+                        Arc::new(BoostedEnumeration::new(DecayRate::new(
                             rate.clamp(1e-6, 0.95),
                             2.0,
                         ))),
@@ -280,7 +291,7 @@ impl EngineBuilder {
                     let bound = complexity::log3_rounds_bound(h.node_count(), 1.0);
                     (
                         inst.model().clone(),
-                        Box::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
+                        Arc::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
                         Decoder::Hypergraph(inst),
                         rate,
                         bound,
@@ -304,17 +315,19 @@ impl EngineBuilder {
         let instance = Arc::new(Instance::new(model, pinning)?);
 
         Ok(Engine {
-            spec,
-            topology,
-            instance,
-            oracle,
-            decoder,
-            rate,
-            bound_rounds,
-            epsilon,
-            delta,
-            seed: self.seed,
-            pool,
+            core: Arc::new(EngineCore {
+                spec,
+                topology,
+                instance,
+                oracle,
+                decoder,
+                rate,
+                bound_rounds,
+                epsilon,
+                delta,
+                seed: self.seed,
+                pool,
+            }),
         })
     }
 }
@@ -388,14 +401,14 @@ fn saw_oracle(params: TwoSpinParams, rate: f64) -> TwoSpinSawOracle {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("spec", &self.spec)
-            .field("carrier_nodes", &self.instance.node_count())
-            .field("oracle", &self.oracle.name())
-            .field("rate", &self.rate)
-            .field("epsilon", &self.epsilon)
-            .field("delta", &self.delta)
-            .field("seed", &self.seed)
-            .field("threads", &self.pool.threads())
+            .field("spec", &self.core.spec)
+            .field("carrier_nodes", &self.core.instance.node_count())
+            .field("oracle", &self.core.oracle.name())
+            .field("rate", &self.core.rate)
+            .field("epsilon", &self.core.epsilon)
+            .field("delta", &self.core.delta)
+            .field("seed", &self.core.seed)
+            .field("threads", &self.core.pool.threads())
             .finish_non_exhaustive()
     }
 }
@@ -408,58 +421,65 @@ impl Engine {
 
     /// The model specification this engine was built from.
     pub fn spec(&self) -> &ModelSpec {
-        &self.spec
+        &self.core.spec
     }
 
     /// The input topology (base graph or hypergraph).
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.core.topology
     }
 
     /// The validated instance `(G, x, τ)` on the carrier graph.
     pub fn instance(&self) -> &Instance {
-        &self.instance
+        &self.core.instance
     }
 
     /// Number of carrier-graph nodes (for edge models: line/intersection
     /// graph nodes, not base nodes).
     pub fn carrier_node_count(&self) -> usize {
-        self.instance.node_count()
+        self.core.instance.node_count()
     }
 
     /// The SSM decay rate used for radius planning.
     pub fn rate(&self) -> f64 {
-        self.rate
+        self.core.rate
     }
 
     /// The paper's round bound for this model with constant 1.
     pub fn bound_rounds(&self) -> f64 {
-        self.bound_rounds
+        self.core.bound_rounds
     }
 
     /// The multiplicative oracle error `ε`.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.core.epsilon
     }
 
     /// The approximate-sampling error `δ`.
     pub fn delta(&self) -> f64 {
-        self.delta
+        self.core.delta
     }
 
     /// The default seed used by [`Engine::run`].
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.core.seed
     }
 
     /// Width of the engine's thread pool.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.core.pool.threads()
+    }
+
+    /// The engine's persistent thread pool. Shared (it is an `Arc`) by
+    /// batch fan-out, chromatic kernels, and boosting trials; clone the
+    /// `Arc` to run other workloads on the same long-lived workers.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.core.pool
     }
 
     /// The dispatched oracle's name.
     pub fn oracle_name(&self) -> &str {
-        self.oracle.name()
+        self.core.oracle.name()
     }
 
     /// Serves one task with the engine's default seed.
@@ -468,7 +488,7 @@ impl Engine {
     ///
     /// See [`Engine::run_with_seed`].
     pub fn run(&self, task: Task) -> Result<RunReport, EngineError> {
-        self.run_with_seed(task, self.seed)
+        self.run_with_seed(task, self.core.seed)
     }
 
     /// Serves one task with an explicit network seed, running any
@@ -481,7 +501,88 @@ impl Engine {
     /// [`Task::Infer`]; [`EngineError::CountFailed`] if the counting
     /// anchor construction fails.
     pub fn run_with_seed(&self, task: Task, seed: u64) -> Result<RunReport, EngineError> {
-        self.run_with_seed_on(task, seed, &self.pool)
+        self.core.run_with_seed_on(task, seed, &self.core.pool)
+    }
+
+    /// Serves the same task once per seed — the single hot path for
+    /// multi-seed throughput workloads. Seeds fan out across the
+    /// engine's thread pool (each seed's own execution stays sequential
+    /// so the pool is not oversubscribed by nested fan-out) and the
+    /// reports are gathered **in input order**; per-task randomness is
+    /// derived from the seed alone, so the reports are bit-identical to
+    /// a sequential run at any pool width.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with the first task error in seed order (reports of
+    /// other seeds are discarded).
+    pub fn run_batch(&self, task: Task, seeds: &[u64]) -> Result<Vec<RunReport>, EngineError> {
+        let core = Arc::clone(&self.core);
+        self.core
+            .pool
+            .par_map(seeds, move |&seed| {
+                core.run_with_seed_on(task, seed, &ThreadPool::sequential())
+            })
+            .into_iter()
+            .collect()
+    }
+
+    /// Marginals at every carrier vertex with multiplicative error `ε`
+    /// (the full inference table) — the independent per-vertex oracle
+    /// trials (boosted frontier pinning + exact ball marginal) fan out
+    /// across the engine's pool via
+    /// [`lds_oracle::marginals_mul_batch`], in vertex order.
+    pub fn marginals_exact_all(&self) -> Vec<Vec<f64>> {
+        let model = self.core.instance.model();
+        let vertices: Vec<NodeId> = (0..model.node_count()).map(NodeId::from_index).collect();
+        lds_oracle::marginals_mul_batch(
+            &self.core.oracle_handle(),
+            model,
+            self.core.instance.pinning(),
+            &vertices,
+            self.core.epsilon,
+            &self.core.pool,
+        )
+    }
+
+    /// The sampling ⟹ inference reduction (Theorem 3.4): reconstructs
+    /// every carrier node's marginal from `repetitions` executions of
+    /// the approximate sampler (seeds `seed0, seed0+1, …`). The
+    /// per-node error is bounded by `δ + ε₀ + ` Monte Carlo noise,
+    /// where `ε₀` is the reported failure rate.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] if `repetitions` is zero.
+    pub fn marginals_by_sampling(
+        &self,
+        repetitions: usize,
+        seed0: u64,
+    ) -> Result<SampledMarginals, EngineError> {
+        if repetitions == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "repetitions",
+                message: "need at least one sampler execution".into(),
+            });
+        }
+        let net = Network::from_shared(Arc::clone(&self.core.instance), seed0);
+        let handle = self.core.oracle_handle();
+        Ok(sampling_to_inference::marginals_by_sampling_with(
+            &net,
+            &handle,
+            self.core.delta,
+            repetitions,
+            seed0,
+            &self.core.pool,
+        ))
+    }
+}
+
+impl EngineCore {
+    /// A cloneable, `'static` handle to the engine's oracle for the
+    /// generic algorithms in `lds_core`.
+    fn oracle_handle(&self) -> OracleHandle {
+        OracleHandle(Arc::clone(&self.oracle))
     }
 
     /// [`Engine::run_with_seed`] on an explicit pool (the batch path
@@ -495,7 +596,7 @@ impl Engine {
     ) -> Result<RunReport, EngineError> {
         let start = Instant::now();
         let model = self.instance.model();
-        let handle = OracleHandle(self.oracle.as_ref());
+        let handle = self.oracle_handle();
         let (output, succeeded, rounds, stats, phases) = match task {
             Task::SampleExact => {
                 let net = Network::from_shared(Arc::clone(&self.instance), seed);
@@ -602,77 +703,6 @@ impl Engine {
             wall_time: start.elapsed(),
             phases,
         })
-    }
-
-    /// Serves the same task once per seed — the single hot path for
-    /// multi-seed throughput workloads. Seeds fan out across the
-    /// engine's thread pool (each seed's own execution stays sequential
-    /// so the pool is not oversubscribed by nested fan-out) and the
-    /// reports are gathered **in input order**; per-task randomness is
-    /// derived from the seed alone, so the reports are bit-identical to
-    /// a sequential run at any pool width.
-    ///
-    /// # Errors
-    ///
-    /// Fails fast with the first task error in seed order (reports of
-    /// other seeds are discarded).
-    pub fn run_batch(&self, task: Task, seeds: &[u64]) -> Result<Vec<RunReport>, EngineError> {
-        self.pool
-            .par_map(seeds, |&seed| {
-                self.run_with_seed_on(task, seed, &ThreadPool::sequential())
-            })
-            .into_iter()
-            .collect()
-    }
-
-    /// Marginals at every carrier vertex with multiplicative error `ε`
-    /// (the full inference table) — the independent per-vertex oracle
-    /// trials (boosted frontier pinning + exact ball marginal) fan out
-    /// across the engine's pool via
-    /// [`lds_oracle::marginals_mul_batch`], in vertex order.
-    pub fn marginals_exact_all(&self) -> Vec<Vec<f64>> {
-        let model = self.instance.model();
-        let vertices: Vec<NodeId> = (0..model.node_count()).map(NodeId::from_index).collect();
-        lds_oracle::marginals_mul_batch(
-            &OracleHandle(self.oracle.as_ref()),
-            model,
-            self.instance.pinning(),
-            &vertices,
-            self.epsilon,
-            &self.pool,
-        )
-    }
-
-    /// The sampling ⟹ inference reduction (Theorem 3.4): reconstructs
-    /// every carrier node's marginal from `repetitions` executions of
-    /// the approximate sampler (seeds `seed0, seed0+1, …`). The
-    /// per-node error is bounded by `δ + ε₀ + ` Monte Carlo noise,
-    /// where `ε₀` is the reported failure rate.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::InvalidParameter`] if `repetitions` is zero.
-    pub fn marginals_by_sampling(
-        &self,
-        repetitions: usize,
-        seed0: u64,
-    ) -> Result<SampledMarginals, EngineError> {
-        if repetitions == 0 {
-            return Err(EngineError::InvalidParameter {
-                name: "repetitions",
-                message: "need at least one sampler execution".into(),
-            });
-        }
-        let net = Network::from_shared(Arc::clone(&self.instance), seed0);
-        let handle = OracleHandle(self.oracle.as_ref());
-        Ok(sampling_to_inference::marginals_by_sampling_with(
-            &net,
-            &handle,
-            self.delta,
-            repetitions,
-            seed0,
-            &self.pool,
-        ))
     }
 
     fn decode(&self, config: &Config) -> SampleDecode {

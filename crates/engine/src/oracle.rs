@@ -10,6 +10,8 @@
 //! at build time (SAW tree for two-spin-shaped models, boosted
 //! enumeration for colorings) and shared by every task.
 
+use std::sync::Arc;
+
 use lds_gibbs::{GibbsModel, PartialConfig};
 use lds_graph::NodeId;
 use lds_oracle::{
@@ -82,14 +84,18 @@ impl<O: InferenceOracle + MultiplicativeInference> TaskOracle for O {
     }
 }
 
-/// Borrowed view of a [`TaskOracle`] implementing the concrete oracle
+/// Shared handle to a [`TaskOracle`] implementing the concrete oracle
 /// traits, so the engine can hand its trait object to the generic
 /// algorithms in `lds_core` (`jvv::sample_exact_local_with`,
 /// `sampler::sample_local_with`, `counting::log_partition_function`).
-/// The `Send + Sync` bounds let the handle cross the thread pool.
-pub(crate) struct OracleHandle<'a>(pub &'a (dyn TaskOracle + Send + Sync));
+/// It holds the oracle by `Arc` — cloneable and `'static` — because
+/// those algorithms clone their oracle into the kernels they ship to the
+/// pool's long-lived workers; the `Send + Sync` bounds let the handle
+/// cross the thread pool.
+#[derive(Clone)]
+pub(crate) struct OracleHandle(pub Arc<dyn TaskOracle + Send + Sync>);
 
-impl InferenceOracle for OracleHandle<'_> {
+impl InferenceOracle for OracleHandle {
     fn name(&self) -> &str {
         self.0.name()
     }
@@ -109,7 +115,7 @@ impl InferenceOracle for OracleHandle<'_> {
     }
 }
 
-impl MultiplicativeInference for OracleHandle<'_> {
+impl MultiplicativeInference for OracleHandle {
     fn name(&self) -> &str {
         self.0.name()
     }

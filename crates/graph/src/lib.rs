@@ -18,7 +18,7 @@
 //!   (the "view" extraction primitive).
 //! * [`power`] — power graphs `G^k` (needed by the SLOCAL→LOCAL
 //!   transformation, Lemma 3.1 of the paper).
-//! * [`line`] — line graphs with edge mappings (matchings are a hardcore
+//! * [`mod@line`] — line graphs with edge mappings (matchings are a hardcore
 //!   model on the line graph; the duality preserves distances up to a
 //!   constant factor).
 //! * [`Hypergraph`] — hypergraphs and their intersection graphs (weighted

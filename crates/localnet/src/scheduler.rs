@@ -27,13 +27,14 @@
 //! independent of the algorithm's own randomness — as required by the
 //! proof of Proposition 4.3.
 
-use lds_gibbs::Value;
+use std::sync::Arc;
+
 use lds_graph::{power, NodeId};
 use lds_runtime::{streams, StreamRng, ThreadPool};
 
 use crate::decomposition::{linial_saks, DecompositionParams, NetworkDecomposition, UNCLUSTERED};
 use crate::local::LocalRun;
-use crate::slocal::{SlocalAlgorithm, SlocalKernel, SlocalRun};
+use crate::slocal::{ScanKernel, SlocalAlgorithm};
 use crate::Network;
 
 /// A chromatic schedule: the sequential ordering realized by the parallel
@@ -140,73 +141,85 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
     }
 }
 
-/// Runs a pinning-extension kernel under the chromatic schedule with
-/// same-color clusters simulated **concurrently** on the pool — the
-/// literal parallel simulation of Lemma 3.1, replacing the sequential
-/// within-color scan.
+/// Runs any [`ScanKernel`] under the chromatic schedule with same-color
+/// clusters simulated **concurrently** on the pool — the literal
+/// parallel simulation of Lemma 3.1, replacing the sequential
+/// within-color scan. Pinning-extension kernels
+/// ([`crate::slocal::SlocalKernel`]) run
+/// here through their blanket `ScanKernel` impl; richer kernels
+/// (`local-JVV`'s rejection pass) implement `ScanKernel` directly.
 ///
 /// Colors are processed in order; within a color every cluster scans its
-/// members sequentially against a snapshot of the pins accumulated
-/// through the previous colors. Same-color clusters are at pairwise
-/// distance `> r + 1`, so (under the kernel's locality contract) no
-/// cluster can observe another's pins, and the merged result is
-/// **bit-identical** to [`crate::slocal::run_kernel_sequential`] on
-/// `schedule.order` — at any pool width. Unclustered (failed) nodes are
-/// processed sequentially at the end, exactly as in the sequential scan.
-pub fn run_kernel_chromatic<K: SlocalKernel + ?Sized>(
+/// members sequentially against a snapshot of the scan state accumulated
+/// through the previous colors, and the per-node effects are replayed
+/// onto the global state **in cluster order** — the order the sequential
+/// scan uses. Same-color clusters are at pairwise distance `> r + 1`,
+/// so (under the kernel's locality contract) no cluster can observe
+/// another's state mutations, and the merged result is **bit-identical**
+/// to [`crate::slocal::run_scan_sequential`] on `schedule.order` — at
+/// any pool width. Unclustered (failed) nodes are processed sequentially
+/// at the end, exactly as in the sequential scan.
+///
+/// The kernel ships to the pool's workers as part of a `'static` job, so
+/// it must own its context (`Clone + Send + Sync + 'static`) — oracles
+/// travel by value or `Arc`, never by borrow.
+pub fn run_kernel_chromatic<K>(
     net: &Network,
     kernel: &K,
     schedule: &ChromaticSchedule,
     pool: &ThreadPool,
-) -> SlocalRun<Value> {
+) -> K::Run
+where
+    K: ScanKernel + Clone + Send + Sync + 'static,
+{
     if pool.is_sequential() {
         // the sequential scan is the same execution without the
-        // per-cluster pinning snapshots — one O(n) state for the whole
-        // schedule instead of one clone per cluster
-        return crate::slocal::run_kernel_sequential(net, kernel, &schedule.order);
+        // per-cluster state snapshots — one state for the whole schedule
+        // instead of one clone per cluster
+        return crate::slocal::run_scan_sequential(net, kernel, &schedule.order);
     }
-    let n = net.node_count();
-    let mut sigma = net.instance().pinning().clone();
-    let mut failures = vec![false; n];
+    let mut state = kernel.init(net);
+    let mut effects: Vec<(NodeId, K::Effect)> = Vec::new();
     for clusters in &schedule.color_clusters {
-        let sigma_snapshot = &sigma;
-        let runs: Vec<Vec<(NodeId, Value, bool)>> = pool.par_map(clusters, |cluster| {
-            let mut local = sigma_snapshot.clone();
-            let mut out = Vec::with_capacity(cluster.len());
+        if let [cluster] = clusters.as_slice() {
+            // a single cluster this color: scan it inline on the global
+            // state — same execution, no snapshot clone, no fan-out
             for &v in cluster {
-                if local.is_pinned(v) {
-                    continue;
+                if let Some(e) = kernel.process(net, &mut state, v) {
+                    effects.push((v, e));
                 }
-                let (val, fail) = kernel.process(net, &local, v);
-                local.pin(v, val);
-                out.push((v, val, fail));
             }
-            out
+            continue;
+        }
+        let snapshot = Arc::new(state.clone());
+        let runs: Vec<Vec<(NodeId, K::Effect)>> = pool.par_map(clusters, {
+            let net = net.clone();
+            let kernel = kernel.clone();
+            move |cluster: &Vec<NodeId>| {
+                let mut local = (*snapshot).clone();
+                let mut out = Vec::with_capacity(cluster.len());
+                for &v in cluster {
+                    if let Some(e) = kernel.process(&net, &mut local, v) {
+                        out.push((v, e));
+                    }
+                }
+                out
+            }
         });
-        // merge in cluster order — the order the sequential scan uses
+        // replay in cluster order — the order the sequential scan uses
         for cluster_out in runs {
-            for (v, val, fail) in cluster_out {
-                failures[v.index()] = fail;
-                sigma.pin(v, val);
+            for (v, e) in cluster_out {
+                kernel.apply(&mut state, v, &e);
+                effects.push((v, e));
             }
         }
     }
     for &v in &schedule.tail {
-        if sigma.is_pinned(v) {
-            continue;
+        if let Some(e) = kernel.process(net, &mut state, v) {
+            effects.push((v, e));
         }
-        let (val, fail) = kernel.process(net, &sigma, v);
-        failures[v.index()] = fail;
-        sigma.pin(v, val);
     }
-    let outputs: Vec<Value> = (0..n)
-        .map(|i| {
-            sigma
-                .get(NodeId::from_index(i))
-                .expect("schedule visits every free node")
-        })
-        .collect();
-    SlocalRun { outputs, failures }
+    kernel.finish(net, state, effects)
 }
 
 /// Runs an SLOCAL algorithm as a LOCAL algorithm via the chromatic
@@ -322,6 +335,7 @@ mod tests {
     /// A locality-1 kernel whose value at `v` depends on the pins of
     /// `v`'s neighbors and `v`'s private randomness — enough to expose
     /// any divergence between the parallel and sequential scans.
+    #[derive(Clone)]
     struct ParityKernel;
 
     impl crate::slocal::SlocalKernel for ParityKernel {

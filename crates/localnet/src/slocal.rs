@@ -81,9 +81,139 @@ pub trait SlocalKernel: Sync {
     fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool);
 }
 
-/// Runs a kernel as the classic sequential SLOCAL scan over `order`:
-/// process each free node in order, pinning its output. Nodes pinned by
-/// the instance keep their pinned value and are never processed.
+/// The general SLOCAL scan kernel: explicit scan state, per-node
+/// effects, and a fold into the final run result.
+///
+/// [`SlocalKernel`] covers the pinning-extension shape (state = the
+/// pinning of processed nodes, effect = the pinned value); passes whose
+/// scan state is richer — `local-JVV`'s rejection pass threads a full
+/// feasible configuration `σ_{i−1}` through the scan and accumulates
+/// acceptance statistics — implement `ScanKernel` directly. Every
+/// `SlocalKernel` is a `ScanKernel` through a blanket impl, so
+/// [`crate::scheduler::run_kernel_chromatic`] drives both shapes with
+/// one engine.
+///
+/// Contract (what makes the chromatic cluster-parallel simulation
+/// execution-equivalent to the sequential scan):
+///
+/// * `process(net, state, v)` must mutate `state` exactly as the
+///   sequential scan would, and its reads/writes of `state` must stay
+///   within the kernel's declared locality of `v`;
+/// * `apply(state, v, effect)` must reproduce on another state the state
+///   mutation `process` performed (the runner replays cluster-local
+///   effects onto the global state, in schedule order);
+/// * `finish` folds the effects **in schedule order**, so any
+///   order-sensitive accumulation (e.g. a floating-point product) sees
+///   the same operation sequence at every pool width.
+pub trait ScanKernel: Sync {
+    /// Scan state threaded through the ordering (cloned per concurrent
+    /// cluster by the chromatic runner).
+    type State: Clone + Send + Sync + 'static;
+    /// Per-node result, replayable onto a state via
+    /// [`ScanKernel::apply`].
+    type Effect: Send + 'static;
+    /// The folded result of a full scan.
+    type Run;
+
+    /// The scan's initial state.
+    fn init(&self, net: &Network) -> Self::State;
+
+    /// Processes node `v` against `state`, mutating it exactly as the
+    /// sequential scan would. Returns `None` when the node is skipped
+    /// (e.g. pinned by the instance).
+    fn process(&self, net: &Network, state: &mut Self::State, v: NodeId) -> Option<Self::Effect>;
+
+    /// Replays the state mutation of a `process(.., v)` that returned
+    /// `effect` onto another state.
+    fn apply(&self, state: &mut Self::State, v: NodeId, effect: &Self::Effect);
+
+    /// Folds the final state and the effects (in schedule order) into
+    /// the run result.
+    fn finish(
+        &self,
+        net: &Network,
+        state: Self::State,
+        effects: Vec<(NodeId, Self::Effect)>,
+    ) -> Self::Run;
+}
+
+/// Every pinning-extension kernel is a [`ScanKernel`] whose state is the
+/// pinning of processed nodes: processing pins the computed value, the
+/// effect is `(value, failure)`, and the fold reads the outputs off the
+/// fully pinned state.
+impl<K: SlocalKernel + ?Sized> ScanKernel for K {
+    type State = PartialConfig;
+    type Effect = (Value, bool);
+    type Run = SlocalRun<Value>;
+
+    fn init(&self, net: &Network) -> PartialConfig {
+        net.instance().pinning().clone()
+    }
+
+    fn process(
+        &self,
+        net: &Network,
+        state: &mut PartialConfig,
+        v: NodeId,
+    ) -> Option<(Value, bool)> {
+        if state.is_pinned(v) {
+            return None;
+        }
+        let (val, fail) = SlocalKernel::process(self, net, state, v);
+        state.pin(v, val);
+        Some((val, fail))
+    }
+
+    fn apply(&self, state: &mut PartialConfig, v: NodeId, &(val, _): &(Value, bool)) {
+        state.pin(v, val);
+    }
+
+    fn finish(
+        &self,
+        net: &Network,
+        state: PartialConfig,
+        effects: Vec<(NodeId, (Value, bool))>,
+    ) -> SlocalRun<Value> {
+        let n = net.node_count();
+        let mut failures = vec![false; n];
+        for (v, (_, fail)) in effects {
+            failures[v.index()] = fail;
+        }
+        let outputs: Vec<Value> = (0..n)
+            .map(|i| {
+                state
+                    .get(NodeId::from_index(i))
+                    .expect("scan visits every free node")
+            })
+            .collect();
+        SlocalRun { outputs, failures }
+    }
+}
+
+/// Runs any [`ScanKernel`] as the classic sequential SLOCAL scan over
+/// `order`: initialize the state, process each node in order, fold the
+/// effects.
+///
+/// `order` must visit every free node (schedule orderings do).
+pub fn run_scan_sequential<K: ScanKernel + ?Sized>(
+    net: &Network,
+    kernel: &K,
+    order: &[NodeId],
+) -> K::Run {
+    let mut state = kernel.init(net);
+    let mut effects = Vec::new();
+    for &v in order {
+        if let Some(e) = ScanKernel::process(kernel, net, &mut state, v) {
+            effects.push((v, e));
+        }
+    }
+    kernel.finish(net, state, effects)
+}
+
+/// Runs a pinning-extension kernel as the classic sequential SLOCAL scan
+/// over `order`: process each free node in order, pinning its output.
+/// Nodes pinned by the instance keep their pinned value and are never
+/// processed.
 ///
 /// `order` must visit every free node (schedule orderings do).
 pub fn run_kernel_sequential<K: SlocalKernel + ?Sized>(
@@ -91,25 +221,7 @@ pub fn run_kernel_sequential<K: SlocalKernel + ?Sized>(
     kernel: &K,
     order: &[NodeId],
 ) -> SlocalRun<Value> {
-    let n = net.node_count();
-    let mut sigma = net.instance().pinning().clone();
-    let mut failures = vec![false; n];
-    for &v in order {
-        if sigma.is_pinned(v) {
-            continue;
-        }
-        let (val, fail) = kernel.process(net, &sigma, v);
-        failures[v.index()] = fail;
-        sigma.pin(v, val);
-    }
-    let outputs: Vec<Value> = (0..n)
-        .map(|i| {
-            sigma
-                .get(NodeId::from_index(i))
-                .expect("order visits every free node")
-        })
-        .collect();
-    SlocalRun { outputs, failures }
+    run_scan_sequential(net, kernel, order)
 }
 
 /// Locality of the single-pass equivalent of a multi-pass SLOCAL

@@ -33,6 +33,7 @@ fn network(g: &Graph, seed: u64) -> Network {
 /// *which* nodes are pinned and *what* they hold matter) with `v`'s
 /// private randomness. Any cross-cluster leak in the concurrent
 /// simulation changes the output.
+#[derive(Clone)]
 struct BallHashKernel {
     r: usize,
 }

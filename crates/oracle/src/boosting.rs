@@ -20,6 +20,8 @@
 //! color `c` — the multiplicative guarantee the distributed JVV sampler
 //! (Theorem 4.2) consumes.
 
+use std::sync::Arc;
+
 use lds_gibbs::{distribution, GibbsModel, PartialConfig};
 use lds_graph::{traversal, NodeId};
 use lds_runtime::ThreadPool;
@@ -157,15 +159,32 @@ impl<O: InferenceOracle> BoostedOracle<O> {
 /// [`MultiplicativeInference::marginal_mul`] in a loop, at any pool
 /// width. This is the single fan-out implementation — the engine's full
 /// marginal table dispatches here through its oracle handle.
-pub fn marginals_mul_batch<O: MultiplicativeInference + Sync + ?Sized>(
+///
+/// The pool's workers are long-lived and take `'static` jobs, so the
+/// parallel path ships one `Arc` of `(oracle, model, pinning)` clones to
+/// them; the sequential path borrows everything and clones nothing.
+pub fn marginals_mul_batch<O>(
     oracle: &O,
     model: &GibbsModel,
     pinning: &PartialConfig,
     vertices: &[NodeId],
     eps: f64,
     pool: &ThreadPool,
-) -> Vec<Vec<f64>> {
-    pool.par_map(vertices, |&v| oracle.marginal_mul(model, pinning, v, eps))
+) -> Vec<Vec<f64>>
+where
+    O: MultiplicativeInference + Clone + Send + Sync + 'static,
+{
+    if pool.is_sequential() || vertices.len() <= 1 {
+        return vertices
+            .iter()
+            .map(|&v| oracle.marginal_mul(model, pinning, v, eps))
+            .collect();
+    }
+    let shared = Arc::new((oracle.clone(), model.clone(), pinning.clone()));
+    pool.par_map(vertices, move |&v| {
+        let (oracle, model, pinning) = &*shared;
+        oracle.marginal_mul(model, pinning, v, eps)
+    })
 }
 
 impl<O: InferenceOracle> MultiplicativeInference for BoostedOracle<O> {

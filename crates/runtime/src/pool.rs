@@ -1,25 +1,49 @@
-//! The work-stealing thread pool.
+//! The persistent work-stealing thread pool.
 
-use std::panic;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
-/// A deterministic `std::thread` work-stealing pool.
+/// A job shipped to a parked worker: a boxed `'static` closure, so no
+/// borrow from any caller's stack ever crosses into a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A deterministic persistent `std::thread` work-stealing pool.
 ///
-/// The pool is a *width*, not a set of live threads: each
-/// [`par_map`](ThreadPool::par_map) call spawns scoped workers (so
-/// closures may borrow from the caller without `'static` bounds) that
-/// self-schedule by stealing the next unclaimed item index from a shared
-/// atomic counter. An idle worker always steals the globally next item,
-/// so load imbalance between items is absorbed without any per-worker
-/// queues — and because every result lands in the slot of its input
-/// index, the output order is the input order no matter which worker ran
-/// which item.
+/// Construction spawns `width − 1` long-lived workers parked on a shared
+/// job channel (the calling thread is always the pool's remaining lane —
+/// see below); [`par_map`](ThreadPool::par_map) ships each call's work to
+/// them as `'static` closures instead of spawning scoped threads per
+/// call, so a schedule with many small colors pays the thread-spawn cost
+/// **once per pool**, not once per color.
+///
+/// Within one `par_map` call the workers self-schedule by stealing the
+/// next unclaimed item index from a shared atomic counter. An idle
+/// worker always steals the globally next item, so load imbalance
+/// between items is absorbed without any per-worker queues — and because
+/// every result lands in the slot of its input index, the output order
+/// is the input order no matter which worker ran which item.
+///
+/// **The caller is a worker too.** After enqueuing the helper jobs, the
+/// calling thread runs the same steal loop on the same counter. This
+/// guarantees progress even when every parked worker is busy with other
+/// work (e.g. an accidentally nested `par_map` on the same pool degrades
+/// to an inline scan instead of deadlocking), and it means a pool of
+/// width `w` uses exactly `w` lanes: `w − 1` parked workers plus the
+/// caller.
 ///
 /// Determinism contract: `par_map(items, f)` returns exactly
-/// `items.iter().map(f).collect()` provided `f` is a pure function of
-/// its item (no shared mutable state). All the workspace's parallel call
-/// sites derive per-task RNG streams via [`crate::StreamRng`] to satisfy
-/// this, which is what `tests/determinism.rs` locks down.
+/// `items.iter().map(f).collect()` provided `f` is a pure function
+/// of its item (no shared mutable state). All the workspace's parallel
+/// call sites derive per-task RNG streams via [`crate::StreamRng`] to
+/// satisfy this — the same counter discipline at every width — which is
+/// what `tests/determinism.rs` locks down.
+///
+/// Cloning a `ThreadPool` is cheap and **shares** the same workers (the
+/// clone is another handle, not another set of threads); the engine
+/// hands one pool to batch fan-out, chromatic kernels, and boosting
+/// trials this way. The workers exit when the last handle drops.
 ///
 /// # Example
 ///
@@ -30,9 +54,63 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// let squares = pool.par_map(&[1u64, 2, 3, 4, 5], |&x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct ThreadPool {
     threads: usize,
+    /// `None` at width 1 (fully inline, no threads at all).
+    inner: Option<Arc<PoolInner>>,
+}
+
+/// The shared state of a pool's worker threads.
+///
+/// Workers are **detached**: shutdown is signalled purely by closing the
+/// job channel, never by joining. This matters because the last
+/// `Arc<PoolInner>` may be dropped *by a worker itself* — a job closure
+/// can own the handle transitively (e.g. a batch job capturing an
+/// `Arc`-shared engine that owns the pool), and joining from inside a
+/// worker would self-deadlock (`EDEADLK`). With channel-only shutdown
+/// the dropping thread — caller or worker — just closes the sender;
+/// every parked worker wakes with a recv error and exits on its own.
+struct PoolInner {
+    sender: Mutex<Option<Sender<Job>>>,
+}
+
+impl std::fmt::Debug for PoolInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolInner").finish_non_exhaustive()
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        // closing the channel wakes every parked worker with a recv
+        // error (after draining any queued jobs); they exit on their own
+        if let Ok(mut sender) = self.sender.lock() {
+            sender.take();
+        }
+    }
+}
+
+/// The parked-worker loop: pull a job, run it with panics contained (a
+/// panicking job must not kill the long-lived worker — the panic payload
+/// travels back to the caller through the job's result channel), repeat
+/// until the pool closes the channel.
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // pool dropped
+        }
+    }
 }
 
 impl Default for ThreadPool {
@@ -43,14 +121,33 @@ impl Default for ThreadPool {
 }
 
 impl ThreadPool {
-    /// A pool of the given width.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// A pool of the given width. Width `0` clamps to `1` (a pool cannot
+    /// be narrower than its own caller, who is always one of the lanes),
+    /// so e.g. `LDS_THREADS=0` degrades to sequential instead of
+    /// panicking or deadlocking.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "a pool needs at least one thread");
-        ThreadPool { threads }
+        let threads = threads.max(1);
+        if threads == 1 {
+            return ThreadPool {
+                threads,
+                inner: None,
+            };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..threads - 1 {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("lds-pool-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn pool worker");
+        }
+        ThreadPool {
+            threads,
+            inner: Some(Arc::new(PoolInner {
+                sender: Mutex::new(Some(tx)),
+            })),
+        }
     }
 
     /// The single-threaded pool: every `par_map` runs inline on the
@@ -71,18 +168,23 @@ impl ThreadPool {
 
     /// Pool width from the `LDS_THREADS` environment variable, falling
     /// back to [`ThreadPool::available`] when unset or unparsable. This
-    /// is the knob the CI determinism matrix turns.
+    /// is the knob the CI determinism matrix turns. An explicit `0`
+    /// clamps to width 1 (see [`ThreadPool::new`]).
     pub fn from_env() -> Self {
-        match std::env::var("LDS_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-        {
-            Some(n) if n > 0 => ThreadPool::new(n),
-            _ => ThreadPool::available(),
+        match Self::parse_width(std::env::var("LDS_THREADS").ok().as_deref()) {
+            Some(n) => ThreadPool::new(n),
+            None => ThreadPool::available(),
         }
     }
 
-    /// The pool width.
+    /// Parses an `LDS_THREADS`-style width: `None`/garbage means "no
+    /// explicit width" (fall back to the machine), a parsed number is
+    /// used as-is — `0` included, which [`ThreadPool::new`] clamps to 1.
+    fn parse_width(value: Option<&str>) -> Option<usize> {
+        value.and_then(|s| s.trim().parse::<usize>().ok())
+    }
+
+    /// The pool width (parked workers + the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -92,51 +194,92 @@ impl ThreadPool {
         self.threads == 1
     }
 
-    /// Maps `f` over `items`, fanning the work across the pool and
-    /// gathering the results **in input order**.
+    /// Maps `f` over `items`, fanning the work across the pool's parked
+    /// workers (plus the calling thread) and gathering the results **in
+    /// input order**.
     ///
-    /// With width 1 (or at most one item) this runs inline with no
-    /// thread spawns. A panic in `f` is resumed on the caller's thread
-    /// after the remaining workers drain.
+    /// With width 1 (or at most one item) this is *exactly*
+    /// `items.iter().map(f).collect()` — no synchronization, no clone,
+    /// byte-for-byte the pre-pool sequential behavior. At width > 1 the
+    /// items are cloned once into an `Arc` so the jobs shipped to the
+    /// parked workers are `'static` (no borrow from the caller's stack
+    /// ever crosses a thread boundary); one `Vec` clone per call is the
+    /// entire price of persistence, against a thread spawn+join per call
+    /// for the scoped strategy it replaced.
+    ///
+    /// A panic in `f` is resumed on the caller's thread after the
+    /// in-flight items drain; the workers survive it (they are
+    /// long-lived).
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
-        T: Sync,
-        R: Send,
-        F: Fn(&T) -> R + Sync,
+        T: Clone + Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
     {
-        if self.threads == 1 || items.len() <= 1 {
+        let n = items.len();
+        if n <= 1 || self.inner.is_none() {
             return items.iter().map(f).collect();
         }
-        let workers = self.threads.min(items.len());
-        let next = AtomicUsize::new(0);
-        let f = &f;
-        let next = &next;
-        let harvested: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            // steal the next unclaimed index
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            local.push((i, f(item)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| panic::resume_unwind(e)))
-                .collect()
-        });
-        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-        for (i, r) in harvested.into_iter().flatten() {
-            slots[i] = Some(r);
+        let inner = self.inner.as_ref().expect("checked above");
+
+        // Shared steal state: the items, the claim counter, and a
+        // channel carrying (index, result) pairs — or the panic payload
+        // of a failed item — back to the caller.
+        type Outcome<R> = (usize, std::thread::Result<R>);
+        let shared: Arc<Vec<T>> = Arc::new(items.to_vec());
+        let next = Arc::new(AtomicUsize::new(0));
+        let f = Arc::new(f);
+        let (tx, rx) = channel::<Outcome<R>>();
+
+        // the steal loop both helpers and the caller run
+        let steal = {
+            let shared = Arc::clone(&shared);
+            let next = Arc::clone(&next);
+            let f = Arc::clone(&f);
+            move |tx: Sender<Outcome<R>>| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = shared.get(i) else { break };
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(item)));
+                if tx.send((i, result)).is_err() {
+                    break; // caller gone — stop pulling work
+                }
+            }
+        };
+
+        // enqueue width − 1 helper jobs; the caller is the final lane
+        let helpers = (self.threads - 1).min(n.saturating_sub(1));
+        if let Ok(sender) = inner.sender.lock() {
+            if let Some(sender) = sender.as_ref() {
+                for _ in 0..helpers {
+                    let steal = steal.clone();
+                    let tx = tx.clone();
+                    let _ = sender.send(Box::new(move || steal(tx)));
+                }
+            }
         }
-        slots
-            .into_iter()
+        steal(tx);
+
+        // Gather in input order. Every claimed index sends exactly one
+        // outcome, so exactly `n` messages arrive — counting them (rather
+        // than waiting for the channel to close) means the caller never
+        // blocks on a stale helper job that is still queued behind other
+        // callers' work. A panic is resumed only after all items drain,
+        // like the scoped version did.
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("every claimed index reports");
+            match result {
+                Ok(r) => out[i] = Some(r),
+                Err(payload) => {
+                    panicked.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panicked {
+            panic::resume_unwind(payload);
+        }
+        out.into_iter()
             .map(|s| s.expect("every index is claimed exactly once"))
             .collect()
     }
@@ -180,11 +323,66 @@ mod tests {
     }
 
     #[test]
-    fn closures_may_borrow_locals() {
-        let base = vec![10u64, 20, 30];
+    fn workers_persist_across_calls() {
+        // many consecutive calls on one pool: all correct, no respawn
+        // needed for correctness (the spawn-cost win is measured in the
+        // pool bench, not asserted here)
+        let pool = ThreadPool::new(4);
+        for round in 0..100u64 {
+            let out = pool.par_map(&(0..16u64).collect::<Vec<_>>(), move |&x| x + round);
+            let expect: Vec<u64> = (0..16).map(|x| x + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn clones_share_workers_and_drop_cleanly() {
+        let pool = ThreadPool::new(3);
+        let clone = pool.clone();
+        assert_eq!(clone.threads(), 3);
+        let a = pool.par_map(&[1u64, 2, 3], |&x| x * 2);
+        let b = clone.par_map(&[1u64, 2, 3], |&x| x * 2);
+        assert_eq!(a, b);
+        drop(pool);
+        // surviving handle still works after the sibling drops
+        let c = clone.par_map(&[5u64, 6], |&x| x + 1);
+        assert_eq!(c, vec![6, 7]);
+    }
+
+    #[test]
+    fn width_zero_clamps_to_one() {
+        // regression: LDS_THREADS=0 must not panic or deadlock
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.is_sequential());
+        assert_eq!(pool.par_map(&[1u64, 2, 3], |&x| x * x), vec![1, 4, 9]);
+        assert_eq!(ThreadPool::parse_width(Some("0")), Some(0));
+    }
+
+    #[test]
+    fn env_width_parsing() {
+        assert_eq!(ThreadPool::parse_width(None), None);
+        assert_eq!(ThreadPool::parse_width(Some("garbage")), None);
+        assert_eq!(ThreadPool::parse_width(Some("")), None);
+        assert_eq!(ThreadPool::parse_width(Some("4")), Some(4));
+        assert_eq!(ThreadPool::parse_width(Some(" 2 ")), Some(2));
+        assert!(ThreadPool::available().threads() >= 1);
+        assert!(ThreadPool::sequential().is_sequential());
+        assert_eq!(ThreadPool::new(5).threads(), 5);
+    }
+
+    #[test]
+    fn nested_par_map_degrades_instead_of_deadlocking() {
+        // every worker lane busy with the outer call; inner calls run on
+        // their calling lane via caller participation
         let pool = ThreadPool::new(2);
-        let out = pool.par_map(&[0usize, 1, 2], |&i| base[i]);
-        assert_eq!(out, base);
+        let inner = pool.clone();
+        let items: Vec<u64> = (0..8).collect();
+        let out = pool.par_map(&items, move |&x| {
+            inner.par_map(&[x, x + 1], |&y| y * 10).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8).map(|x| 10 * x + 10 * (x + 1)).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]
@@ -200,12 +398,48 @@ mod tests {
     }
 
     #[test]
-    fn env_override_parses() {
-        // from_env falls back to available() on unset/garbage; explicit
-        // construction is what the engine uses, so just sanity-check
-        // the width accessors.
-        assert!(ThreadPool::available().threads() >= 1);
-        assert!(ThreadPool::sequential().is_sequential());
-        assert_eq!(ThreadPool::new(5).threads(), 5);
+    fn pool_survives_a_panicking_call() {
+        let pool = ThreadPool::new(3);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&[1u64, 2, 3, 4, 5, 6], |&x| {
+                if x == 2 {
+                    panic!("transient");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // the same workers serve the next call
+        assert_eq!(pool.par_map(&[1u64, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn last_handle_dropped_by_worker_is_safe() {
+        // a job closure may transitively own a handle to its own pool
+        // (e.g. a batch job capturing an Arc-shared engine); the worker
+        // that drops the last Arc<F> then drops that handle. Shutdown is
+        // channel-only, so this must neither deadlock nor panic — the
+        // old join-on-drop strategy hit EDEADLK here.
+        for _ in 0..50 {
+            let pool = ThreadPool::new(2);
+            let held = pool.clone();
+            let items: Vec<u64> = (0..4).collect();
+            let out = pool.par_map(&items, move |&x| {
+                let _own_pool = &held;
+                x
+            });
+            assert_eq!(out, items);
+            drop(pool); // the worker may now hold the last handle
+        }
+    }
+
+    #[test]
+    fn captured_state_is_shared_not_borrowed() {
+        // jobs are 'static: captured context travels by Arc, not borrow
+        let base = Arc::new(vec![10u64, 20, 30]);
+        let pool = ThreadPool::new(2);
+        let captured = Arc::clone(&base);
+        let out = pool.par_map(&[0usize, 1, 2], move |&i| captured[i]);
+        assert_eq!(out, *base);
     }
 }

@@ -3,8 +3,9 @@
 //! Definition 5.1's exponential form is `δ_n(t) = poly(n)·αᵗ`; taking
 //! logs, `ln gap(d) ≈ ln c + d·ln α` is linear in `d`, so ordinary least
 //! squares on `(d, ln gap(d))` recovers `α` (slope) and `c` (intercept).
-//! The fitted rate feeds [`lds_oracle::DecayRate`] for radius planning
-//! and the phase diagrams of experiment E7.
+//! The fitted rate feeds `lds_oracle::DecayRate` for radius planning
+//! and the phase diagrams of experiment E7 (`lds-ssm` does not depend
+//! on `lds-oracle`, so this is a plain-text reference, not a doc link).
 
 use crate::estimator::GapPoint;
 

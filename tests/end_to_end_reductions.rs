@@ -25,7 +25,7 @@ fn theorem_3_2_sampler_distribution_matches_target() {
     let g = generators::cycle(n);
     let model = hardcore::model(&g, 1.3);
     let oracle = saw(1.3);
-    let sampler = SequentialSampler::new(&oracle, 0.02);
+    let sampler = SequentialSampler::new(oracle.clone(), 0.02);
     let trials = 20_000usize;
     let mut samples = Vec::with_capacity(trials);
     for seed in 0..trials as u64 {
@@ -52,7 +52,7 @@ fn theorem_3_2_local_version_with_lemma_3_1() {
     let config = Config::from_values(run.outputs);
     assert!(model.weight(&config) > 0.0);
     // decomposition color separation must hold on the power graph
-    let locality = SequentialSampler::new(&oracle, 0.1).locality(16);
+    let locality = SequentialSampler::new(oracle.clone(), 0.1).locality(16);
     let h = lds::graph::power::power(&g, locality.min(4 /* diameter cap */) + 1);
     assert!(schedule.decomposition.verify_color_separation(&h));
 }
@@ -105,7 +105,7 @@ fn pinned_instances_flow_through_every_reduction() {
     // sampler honors pins
     for seed in 0..20 {
         let net = Network::new(inst.clone(), seed);
-        let sampler = SequentialSampler::new(&oracle, 0.05);
+        let sampler = SequentialSampler::new(oracle.clone(), 0.05);
         let run = sampler.run_sequential(&net, &ordering::identity(&g));
         assert_eq!(run.outputs[0], Value(1));
         assert_eq!(run.outputs[4], Value(1));

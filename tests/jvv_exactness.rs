@@ -14,7 +14,7 @@ use lds::oracle::{
 
 /// Runs JVV `trials` times and returns (success rate, TV of accepted
 /// empirical distribution vs exact, total clamped).
-fn jvv_statistics<O: MultiplicativeInference + Sync>(
+fn jvv_statistics<O: MultiplicativeInference + Clone + Send + Sync + 'static>(
     model: &GibbsModel,
     oracle: &O,
     eps: f64,

@@ -1,0 +1,265 @@
+//! Pass-3 equivalence: the chromatic (cluster-parallel) rejection pass
+//! is **bit-identical** to the pre-refactor sequential scan.
+//!
+//! `local-JVV`'s rejection pass was refactored from a hard-coded
+//! sequential loop into a `ScanKernel` driven by the chromatic scheduler
+//! (so same-color clusters resample concurrently). The original loop is
+//! kept frozen as `LocalJvv::run_detailed_reference`; this suite checks
+//! the refactored execution against it:
+//!
+//! * a proptest over random graphs and **explicit oracle radii
+//!   t ∈ {1, 2, 3}** (a deterministic radius-`t` pseudo-oracle makes the
+//!   radius a direct test parameter instead of a function of `ε`), at
+//!   pool widths 1, 2 and 8 — outputs, failure bits, and the
+//!   floating-point acceptance statistics must match bit for bit;
+//! * the same comparison through the real SAW-tree oracle on the
+//!   engine's serving path workloads.
+//!
+//! The CI determinism matrix runs this suite under
+//! `LDS_THREADS ∈ {1, 4, 8}`; the widths exercised here are explicit, so
+//! every leg checks the full 1/2/8 sweep.
+
+use lds::core::jvv::LocalJvv;
+use lds::gibbs::models::hardcore;
+use lds::gibbs::models::two_spin::TwoSpinParams;
+use lds::gibbs::{GibbsModel, PartialConfig, Value};
+use lds::graph::{generators, traversal, Graph, NodeId};
+use lds::localnet::slocal::multipass_locality;
+use lds::localnet::{scheduler, Instance, Network};
+use lds::oracle::{BoostedOracle, DecayRate, MultiplicativeInference, TwoSpinSawOracle};
+use lds::runtime::{splitmix64, ThreadPool};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic multiplicative "oracle" with an **explicit** radius
+/// `t`: its marginal at `v` is a positive pseudo-random function of the
+/// pins within distance `t` of `v` (and nothing else). It makes no
+/// accuracy promise — pass-3 equivalence is about locality and
+/// determinism, not oracle quality — and its arbitrary marginals drive
+/// the rejection ratios (and the clamp counter) much harder than a
+/// well-behaved oracle would.
+#[derive(Clone)]
+struct BallHashOracle {
+    t: usize,
+}
+
+impl MultiplicativeInference for BallHashOracle {
+    fn name(&self) -> &str {
+        "ball-hash"
+    }
+
+    fn radius_mul(&self, _model: &GibbsModel, _eps: f64) -> usize {
+        self.t
+    }
+
+    fn marginal_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        _eps: f64,
+    ) -> Vec<f64> {
+        let q = model.alphabet_size();
+        if let Some(val) = pinning.get(v) {
+            let mut point = vec![0.0; q];
+            point[val.index()] = 1.0;
+            return point;
+        }
+        let g = model.graph();
+        let dist = traversal::bfs_distances(g, v);
+        let mut acc = 0xabcd_ef01_2345_6789u64 ^ ((v.index() as u64) << 32);
+        for u in g.nodes() {
+            let d = dist[u.index()];
+            if d == traversal::UNREACHABLE || d as usize > self.t {
+                continue;
+            }
+            if let Some(val) = pinning.get(u) {
+                acc = acc.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(
+                    ((u.index() as u64) << 17) | ((val.index() as u64) << 3) | d as u64,
+                );
+            }
+        }
+        let weights: Vec<f64> = (0..q)
+            .map(|c| {
+                1.0 + (splitmix64(acc ^ (c as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)) % 1024)
+                    as f64
+                    / 1024.0
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+}
+
+fn workload(idx: usize, seed: u64) -> Graph {
+    match idx % 5 {
+        0 => generators::cycle(14),
+        1 => generators::torus(4, 4),
+        2 => generators::random_regular(14, 3, &mut StdRng::seed_from_u64(seed)),
+        3 => generators::erdos_renyi(16, 0.15, &mut StdRng::seed_from_u64(seed ^ 0xe5)),
+        _ => generators::balanced_tree(2, 3),
+    }
+}
+
+fn network(g: &Graph, seed: u64) -> Network {
+    Network::new(Instance::unconditioned(hardcore::model(g, 1.0)), seed)
+}
+
+/// Asserts two JVV outcomes identical to the bit: outputs, failure
+/// bits, and the floating-point acceptance statistics.
+#[track_caller]
+fn assert_outcomes_identical(
+    a: &lds::core::jvv::JvvOutcome,
+    b: &lds::core::jvv::JvvOutcome,
+    context: &str,
+) {
+    assert_eq!(a.run.outputs, b.run.outputs, "{context}: outputs");
+    assert_eq!(a.run.failures, b.run.failures, "{context}: failures");
+    assert_eq!(
+        a.stats.acceptance_product.to_bits(),
+        b.stats.acceptance_product.to_bits(),
+        "{context}: acceptance product bits"
+    );
+    assert_eq!(a.stats.clamped, b.stats.clamped, "{context}: clamped");
+    assert_eq!(
+        a.stats.repair_failures, b.stats.repair_failures,
+        "{context}: repair failures"
+    );
+    assert_eq!(a.stats.locality, b.stats.locality, "{context}: locality");
+}
+
+proptest! {
+    /// Parallel pass 3 == frozen sequential scan, for explicit oracle
+    /// radii t ∈ {1, 2, 3} on random graphs, at widths 1/2/8.
+    #[test]
+    fn parallel_pass3_equals_prerefactor_scan(
+        gidx in 0usize..5,
+        seed in 0u64..200,
+        t in 1usize..4,
+    ) {
+        let g = workload(gidx, seed);
+        let net = network(&g, seed);
+        let oracle = BallHashOracle { t };
+        let jvv = LocalJvv::new(&oracle, 0.01);
+        let ell = net.instance().model().locality().max(1);
+        let locality = multipass_locality(&[t, t, 3 * t + ell]);
+        let schedule = scheduler::chromatic_schedule(&net, locality, 0);
+        let reference = jvv.run_detailed_reference(&net, &schedule.order);
+        for threads in [1usize, 2, 8] {
+            let (outcome, _timings) =
+                jvv.run_scheduled(&net, &schedule, &ThreadPool::new(threads));
+            assert_outcomes_identical(
+                &outcome,
+                &reference,
+                &format!("graph {gidx} seed {seed} t {t} threads {threads}"),
+            );
+        }
+        // the refactored sequential path must also reproduce the frozen
+        // scan exactly (same kernel, no snapshots)
+        let detailed = jvv.run_detailed(&net, &schedule.order);
+        assert_outcomes_identical(
+            &detailed,
+            &reference,
+            &format!("graph {gidx} seed {seed} t {t} sequential"),
+        );
+    }
+}
+
+/// The same equivalence through the real boosted SAW-tree oracle — the
+/// oracle the engine serves hardcore/Ising/two-spin requests with.
+#[test]
+fn parallel_pass3_matches_reference_with_saw_oracle() {
+    let oracle = BoostedOracle::new(TwoSpinSawOracle::new(
+        TwoSpinParams::hardcore(1.0),
+        DecayRate::new(0.5, 2.0),
+    ));
+    for (g, eps) in [
+        (generators::cycle(10), 0.05),
+        (generators::torus(4, 4), 0.1),
+        (generators::cycle(12), 0.01),
+    ] {
+        for seed in 0..4u64 {
+            let net = network(&g, seed);
+            let jvv = LocalJvv::new(&oracle, eps);
+            let model = net.instance().model();
+            let ell = model.locality().max(1);
+            let t = oracle.radius_mul(model, eps);
+            let locality = multipass_locality(&[t, t, 3 * t + ell]);
+            let schedule = scheduler::chromatic_schedule(&net, locality, 0);
+            let reference = jvv.run_detailed_reference(&net, &schedule.order);
+            for threads in [1usize, 2, 8] {
+                let (outcome, _) = jvv.run_scheduled(&net, &schedule, &ThreadPool::new(threads));
+                assert_outcomes_identical(
+                    &outcome,
+                    &reference,
+                    &format!("saw eps {eps} seed {seed} threads {threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// Pinned instances run pass 3 over every node (pinned ones included);
+/// the equivalence must survive pinning too.
+#[test]
+fn parallel_pass3_respects_pinning_bitwise() {
+    let g = generators::cycle(12);
+    let model = hardcore::model(&g, 1.0);
+    let mut tau = PartialConfig::empty(12);
+    tau.pin(NodeId(3), Value(1));
+    tau.pin(NodeId(7), Value(0));
+    let inst = Instance::new(model, tau).unwrap();
+    let oracle = BallHashOracle { t: 2 };
+    for seed in 0..6u64 {
+        let net = Network::new(inst.clone(), seed);
+        let jvv = LocalJvv::new(&oracle, 0.02);
+        let ell = net.instance().model().locality().max(1);
+        let locality = multipass_locality(&[2, 2, 6 + ell]);
+        let schedule = scheduler::chromatic_schedule(&net, locality, 0);
+        let reference = jvv.run_detailed_reference(&net, &schedule.order);
+        assert_eq!(reference.run.outputs[3], Value(1), "pin must survive");
+        for threads in [2usize, 8] {
+            let (outcome, _) = jvv.run_scheduled(&net, &schedule, &ThreadPool::new(threads));
+            assert_outcomes_identical(&outcome, &reference, &format!("pinned seed {seed}"));
+        }
+    }
+}
+
+/// Pass-1 ground failures must *carry over* through pass 3 even when
+/// the node's rejection coin passes — the sequential scan only ever
+/// sets failure bits, it never clears them. The full pipeline only
+/// produces ground failures on infeasible-fallback paths, so this
+/// drives the kernel and the frozen reference directly with synthetic
+/// pass-1/2 outputs (regression for a fold that assigned instead of
+/// OR-ing).
+#[test]
+fn ground_failures_survive_a_passing_rejection_coin() {
+    use lds::localnet::slocal::SlocalRun;
+    let g = generators::cycle(10);
+    let n = 10;
+    let oracle = BallHashOracle { t: 1 };
+    for seed in 0..8u64 {
+        let net = network(&g, seed);
+        let jvv = LocalJvv::new(&oracle, 0.02);
+        let order: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        // feasible all-unoccupied σ0 and Y, with synthetic pass-1
+        // failures at two nodes
+        let mut ground_failures = vec![false; n];
+        ground_failures[2] = true;
+        ground_failures[7] = true;
+        let ground = SlocalRun {
+            outputs: vec![Value(0); n],
+            failures: ground_failures,
+        };
+        let sampled = SlocalRun {
+            outputs: vec![Value(0); n],
+            failures: vec![false; n],
+        };
+        let reference = jvv.rejection_pass_reference(&net, &order, ground.clone(), sampled.clone());
+        let scan = jvv.rejection_pass_scan(&net, &order, ground, sampled);
+        assert!(reference.run.failures[2], "reference must keep the bit");
+        assert!(reference.run.failures[7], "reference must keep the bit");
+        assert_outcomes_identical(&scan, &reference, &format!("ground carry-over seed {seed}"));
+    }
+}
