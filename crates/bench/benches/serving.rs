@@ -1,0 +1,136 @@
+//! Serving bench: coalesced dispatch through `lds-serve` vs.
+//! one-at-a-time request execution, at pool widths 1 and 4.
+//!
+//! The server's coalescer folds compatible requests arriving within a
+//! window into one `run_batch` call. At width 1 that amortizes only the
+//! per-request dispatch overhead (queue hop, ledger pass), so coalesced
+//! ≈ sequential. At width > 1 the folded batch fans across the engine's
+//! persistent pool while one-at-a-time dispatch leaves the helper lanes
+//! idle between requests — that gap is the serving win the acceptance
+//! gate tracks (≥ 2× at width 4 on real cores).
+//!
+//! The cache is disabled here (every request carries a fresh seed): the
+//! bench measures dispatch shape, not replay.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_engine::{Engine, ModelSpec, Task};
+use lds_graph::generators;
+use lds_serve::{Server, ServerConfig};
+
+const BURST: u64 = 16;
+
+fn engine(width: usize) -> Arc<Engine> {
+    Arc::new(
+        Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(12))
+            .epsilon(0.01)
+            .threads(width)
+            .build()
+            .expect("in regime"),
+    )
+}
+
+fn coalescing_server(engine: Arc<Engine>) -> Server {
+    Server::new(
+        engine,
+        ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::from_millis(2),
+            max_batch: BURST as usize,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn bench_serving_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_dispatch");
+    group.sample_size(10);
+    for &width in &[1usize, 4] {
+        let eng = engine(width);
+        // one-at-a-time: each request is its own engine call (what a
+        // naive per-request handler would do)
+        let seq_engine = Arc::clone(&eng);
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::new("one_at_a_time", width), &width, |b, _| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    seed += 1;
+                    criterion::black_box(
+                        seq_engine.run_with_seed(Task::SampleExact, seed).unwrap(),
+                    );
+                }
+            })
+        });
+        // coalesced: the same burst lands in the server's window and is
+        // dispatched as one run_batch
+        let server = coalescing_server(Arc::clone(&eng));
+        let mut seed = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("coalesced", width), &width, |b, _| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..BURST)
+                    .map(|_| {
+                        seed += 1;
+                        server.submit(Task::SampleExact, seed).unwrap()
+                    })
+                    .collect();
+                for t in tickets {
+                    criterion::black_box(t.wait().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Plain-text summary table (the experiments idiom): per-request cost
+/// and the coalesced-over-sequential speedup per width.
+fn speedup_table(_c: &mut Criterion) {
+    println!("\nserving dispatch: bursts of {BURST} SampleExact requests, C12 hardcore");
+    for width in [1usize, 4] {
+        let eng = engine(width);
+        let mut seed = 0u64;
+        let mut one_at_a_time = || {
+            let start = Instant::now();
+            for _ in 0..BURST {
+                seed += 1;
+                criterion::black_box(eng.run_with_seed(Task::SampleExact, seed).unwrap());
+            }
+            start.elapsed().as_nanos() as f64 / BURST as f64
+        };
+        one_at_a_time(); // warmup
+        let seq_ns = (0..5).map(|_| one_at_a_time()).fold(f64::MAX, f64::min);
+
+        let server = coalescing_server(Arc::clone(&eng));
+        let mut seed = 1_000_000u64;
+        let mut coalesced = || {
+            let start = Instant::now();
+            let tickets: Vec<_> = (0..BURST)
+                .map(|_| {
+                    seed += 1;
+                    server.submit(Task::SampleExact, seed).unwrap()
+                })
+                .collect();
+            for t in tickets {
+                criterion::black_box(t.wait().unwrap());
+            }
+            start.elapsed().as_nanos() as f64 / BURST as f64
+        };
+        coalesced(); // warmup
+        let coal_ns = (0..5).map(|_| coalesced()).fold(f64::MAX, f64::min);
+        println!(
+            "  width {width}: one-at-a-time {:>9.0} ns/req, coalesced {:>9.0} ns/req, speedup {:.2}x (mean batch {:.1})",
+            seq_ns,
+            coal_ns,
+            seq_ns / coal_ns,
+            server.stats().mean_batch_size(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_serving_dispatch, speedup_table);
+criterion_main!(benches);

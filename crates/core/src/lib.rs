@@ -11,7 +11,7 @@
 //! | Theorem 3.4: sampling ⟹ inference | [`sampling_to_inference`] |
 //! | Theorem 4.2 / Prop. 4.3: the distributed JVV exact sampler (local rejection sampling) | [`jvv`] |
 //! | Theorem 5.1: inference ⟺ strong spatial mixing | [`ssm_inference`] |
-//! | Corollary 5.3: per-model exact samplers (matchings, hardcore, colorings, 2-spin, hypergraph matchings) | [`apps`] |
+//! | Corollary 5.3: per-model exact samplers (matchings, hardcore, colorings, 2-spin, hypergraph matchings) | the `lds-engine` facade ([`regime`] holds the shared checks) |
 //! | Chain-rule counting from inference (the "counting" of the title) | [`counting`] |
 //! | Round-complexity formulas for the applications | [`complexity`] |
 //! | Baselines: global chain-rule sampling, Glauber dynamics | [`baselines`] |
@@ -43,7 +43,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod apps;
 pub mod baselines;
 pub mod complexity;
 pub mod counting;

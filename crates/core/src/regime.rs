@@ -5,10 +5,10 @@
 //! polylogarithmic round complexity) inside a parameter regime — below
 //! the hardcore uniqueness threshold `λ_c(Δ)`, inside two-spin
 //! uniqueness, past the coloring constant `α*`, and so on. This module
-//! centralizes those checks so the deprecated [`crate::apps`] shims and
-//! the `lds-engine` facade validate parameters identically, and so every
-//! rejection reports *which* threshold was violated together with both
-//! the computed and the critical value.
+//! centralizes those checks as the single source the `lds-engine`
+//! facade validates against, and every rejection reports *which*
+//! threshold was violated together with both the computed and the
+//! critical value.
 
 use lds_gibbs::models::ising::IsingParams;
 use lds_gibbs::models::two_spin::TwoSpinParams;

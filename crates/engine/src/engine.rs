@@ -74,6 +74,10 @@ struct EngineCore {
     epsilon: f64,
     delta: f64,
     seed: u64,
+    /// Stable identity of everything that determines task outputs
+    /// (spec, topology, pinning, ε, δ) — the engine half of a serving
+    /// idempotency key; see [`Engine::fingerprint`].
+    fingerprint: u64,
     /// One persistent pool shared (via `Arc`) by batch fan-out,
     /// chromatic kernels, and boosting trials — workers spawn once at
     /// build time, not per call.
@@ -90,6 +94,10 @@ pub struct EngineBuilder {
     delta: Option<f64>,
     seed: u64,
     threads: Option<usize>,
+    /// First invalid setter argument, recorded **at set time** so the
+    /// rejection names the call that caused it instead of surfacing as
+    /// a downstream regime error or panic; `build()` returns it.
+    invalid: Option<EngineError>,
 }
 
 impl EngineBuilder {
@@ -120,18 +128,49 @@ impl EngineBuilder {
         self
     }
 
+    /// Records an invalid setter argument; the **first** one wins and
+    /// is what [`EngineBuilder::build`] returns.
+    fn reject(&mut self, name: &'static str, message: String) {
+        self.invalid
+            .get_or_insert(EngineError::InvalidParameter { name, message });
+    }
+
+    /// Validates an error target at set time: NaN, `±∞`, zero, and
+    /// negative values are rejected immediately (they would otherwise
+    /// slip through comparisons as radius plans and surface as
+    /// downstream panics or bogus regime errors).
+    fn checked_error_target(&mut self, name: &'static str, x: f64) -> Option<f64> {
+        if x.is_finite() && x > 0.0 {
+            Some(x)
+        } else {
+            self.reject(
+                name,
+                format!("must be a positive finite error target, got {x}"),
+            );
+            None
+        }
+    }
+
     /// Sets the multiplicative oracle error `ε` used by exact sampling,
     /// inference, and counting (default `0.01`; the paper's exact-
     /// sampling instantiation is `ε = 1/n³`).
+    ///
+    /// Validated **at set time**: a NaN or non-positive value makes
+    /// [`EngineBuilder::build`] fail with
+    /// [`EngineError::InvalidParameter`] naming `epsilon`.
     pub fn epsilon(mut self, eps: f64) -> Self {
-        self.epsilon = Some(eps);
+        self.epsilon = self.checked_error_target("epsilon", eps);
         self
     }
 
     /// Sets the total-variation error `δ` of approximate sampling
     /// (default `0.05`).
+    ///
+    /// Validated **at set time**: a NaN or non-positive value makes
+    /// [`EngineBuilder::build`] fail with
+    /// [`EngineError::InvalidParameter`] naming `delta`.
     pub fn delta(mut self, delta: f64) -> Self {
-        self.delta = Some(delta);
+        self.delta = self.checked_error_target("delta", delta);
         self
     }
 
@@ -154,11 +193,14 @@ impl EngineBuilder {
     /// the `LDS_THREADS` environment variable if set, else
     /// `std::thread::available_parallelism()`.
     ///
-    /// # Panics
-    ///
-    /// [`EngineBuilder::build`] fails with
-    /// [`EngineError::InvalidParameter`] if `n == 0`.
+    /// Validated **at set time**: `n == 0` makes
+    /// [`EngineBuilder::build`] fail with
+    /// [`EngineError::InvalidParameter`] (the pool needs at least the
+    /// calling thread).
     pub fn threads(mut self, n: usize) -> Self {
+        if n == 0 {
+            self.reject("threads", "the pool needs at least one thread".into());
+        }
         self.threads = Some(n);
         self
     }
@@ -176,25 +218,17 @@ impl EngineBuilder {
     /// [`EngineError::PinningLength`] /
     /// [`EngineError::InfeasiblePinning`] on a bad pinning.
     pub fn build(self) -> Result<Engine, EngineError> {
+        // a setter already rejected its argument: report that first,
+        // before any missing-field diagnosis (the caller's earliest
+        // mistake is the most useful one)
+        if let Some(err) = self.invalid {
+            return Err(err);
+        }
         let spec = self.spec.ok_or(EngineError::MissingModel)?;
         let epsilon = self.epsilon.unwrap_or(0.01);
         let delta = self.delta.unwrap_or(0.05);
-        for (name, x) in [("epsilon", epsilon), ("delta", delta)] {
-            if !(x.is_finite() && x > 0.0) {
-                return Err(EngineError::InvalidParameter {
-                    name,
-                    message: format!("must be a positive finite error target, got {x}"),
-                });
-            }
-        }
         validate_spec_parameters(&spec)?;
         let pool = match self.threads {
-            Some(0) => {
-                return Err(EngineError::InvalidParameter {
-                    name: "threads",
-                    message: "the pool needs at least one thread".into(),
-                })
-            }
             Some(n) => Arc::new(ThreadPool::new(n)),
             None => Arc::new(ThreadPool::from_env()),
         };
@@ -312,6 +346,17 @@ impl EngineBuilder {
             }
             None => PartialConfig::empty(carrier_n),
         };
+        // the engine half of the serving idempotency key: everything
+        // that determines a (Task, seed) output, hashed once at build
+        let fingerprint = {
+            let mut h = crate::spec::mix(spec.fingerprint(), topology.fingerprint());
+            h = crate::spec::mix(h, pinning.len() as u64);
+            for (v, value) in pinning.pins() {
+                h = crate::spec::mix(h, (v.index() as u64) << 32 | value.index() as u64);
+            }
+            h = crate::spec::mix(h, epsilon.to_bits());
+            crate::spec::mix(h, delta.to_bits())
+        };
         let instance = Arc::new(Instance::new(model, pinning)?);
 
         Ok(Engine {
@@ -326,6 +371,7 @@ impl EngineBuilder {
                 epsilon,
                 delta,
                 seed: self.seed,
+                fingerprint,
                 pool,
             }),
         })
@@ -463,6 +509,21 @@ impl Engine {
     /// The default seed used by [`Engine::run`].
     pub fn seed(&self) -> u64 {
         self.core.seed
+    }
+
+    /// A stable 64-bit fingerprint of everything that determines task
+    /// outputs: the [`ModelSpec`] (kind + exact parameter bits), the
+    /// topology (nodes + edges), the pinning, and the `ε`/`δ` error
+    /// targets. Computed once at build time.
+    ///
+    /// Because every task's randomness derives from its seed alone,
+    /// `(fingerprint, Task, seed)` fully identifies a [`RunReport`] up
+    /// to wall-clock timing — serving layers (`lds-serve`) use exactly
+    /// this triple as the idempotency-cache key. The default
+    /// [`Engine::seed`] and the pool width are deliberately excluded:
+    /// neither changes any output bit.
+    pub fn fingerprint(&self) -> u64 {
+        self.core.fingerprint
     }
 
     /// Width of the engine's thread pool.
@@ -873,6 +934,100 @@ mod tests {
             err,
             EngineError::InvalidParameter { name: "q", .. }
         ));
+    }
+
+    #[test]
+    fn setters_validate_at_set_time_and_first_error_wins() {
+        // NaN ε is rejected by the setter, before build even sees the
+        // (here: missing) model — the earliest mistake is reported
+        let err = Engine::builder().epsilon(f64::NAN).build().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "epsilon",
+                ..
+            }
+        ));
+        for bad in [f64::NAN, f64::NEG_INFINITY, 0.0, -0.5] {
+            let err = Engine::builder()
+                .model(ModelSpec::Hardcore { lambda: 1.0 })
+                .graph(generators::cycle(6))
+                .delta(bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, EngineError::InvalidParameter { name: "delta", .. }),
+                "δ = {bad}: {err:?}"
+            );
+        }
+        // first invalid setter wins over later ones
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(6))
+            .delta(-1.0)
+            .epsilon(f64::INFINITY)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter { name: "delta", .. }
+        ));
+        let err = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(6))
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "threads",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_output_determining_state() {
+        let build = |lambda: f64, n: usize, eps: f64| {
+            Engine::builder()
+                .model(ModelSpec::Hardcore { lambda })
+                .graph(generators::cycle(n))
+                .epsilon(eps)
+                .build()
+                .unwrap()
+        };
+        let a = build(1.0, 8, 0.01);
+        // identical request → identical fingerprint, at any pool width
+        // or default seed (neither changes output bits)
+        let b = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(8))
+            .epsilon(0.01)
+            .seed(999)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // each output-determining ingredient separates
+        assert_ne!(a.fingerprint(), build(1.1, 8, 0.01).fingerprint());
+        assert_ne!(a.fingerprint(), build(1.0, 9, 0.01).fingerprint());
+        assert_ne!(a.fingerprint(), build(1.0, 8, 0.02).fingerprint());
+        let mut tau = PartialConfig::empty(8);
+        tau.pin(NodeId(0), Value(1));
+        let pinned = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(8))
+            .pinning(tau)
+            .epsilon(0.01)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), pinned.fingerprint());
+        // spec fingerprints separate model kinds at equal parameters
+        assert_ne!(
+            ModelSpec::Hardcore { lambda: 1.0 }.fingerprint(),
+            ModelSpec::Matching { lambda: 1.0 }.fingerprint()
+        );
     }
 
     #[test]

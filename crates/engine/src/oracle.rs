@@ -4,9 +4,9 @@
 //! The paper's algorithms consume two different oracle contracts:
 //! additive (total-variation) inference for the Theorem 3.2 sampler, and
 //! multiplicative inference for local-JVV (Theorem 4.2) and chain-rule
-//! counting. The per-model free functions in `lds_core::apps` wire a
-//! concrete oracle type into each call site; the engine instead erases
-//! the choice behind the object-safe [`TaskOracle`] trait, picked once
+//! counting. Rather than wiring a concrete oracle type into every call
+//! site (as the pre-facade per-model free functions did), the engine
+//! erases the choice behind the object-safe [`TaskOracle`] trait, picked once
 //! at build time (SAW tree for two-spin-shaped models, boosted
 //! enumeration for colorings) and shared by every task.
 

@@ -13,7 +13,11 @@ pub use lds_runtime::Phase;
 /// local computations: exact sampling (Theorem 4.2), approximate
 /// sampling (Theorem 3.2), approximate inference (Section 2 /
 /// Theorem 5.1), and counting (chain rule).
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Task` is `Eq + Hash` (it is float-free by construction) so serving
+/// layers can key coalescing groups and idempotency-cache entries by
+/// `(fingerprint, Task, seed)` — see `lds-serve`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Task {
     /// Draw one exact sample via `local-JVV` (Theorem 4.2). Exactness is
     /// conditional on [`RunReport::succeeded`].

@@ -1,6 +1,15 @@
 //! Typed model specifications: the request half of the facade.
 
 use lds_graph::{Graph, Hypergraph};
+use lds_runtime::splitmix64;
+
+/// Folds one word into a running 64-bit fingerprint state
+/// (order-sensitive splitmix64 mixing — deliberately *not*
+/// `std::hash::Hasher`, whose output is allowed to vary between std
+/// releases; idempotency keys must be stable).
+pub(crate) fn mix(state: u64, word: u64) -> u64 {
+    splitmix64(state ^ splitmix64(word))
+}
 
 /// One of the paper's Corollary 5.3 applications, as a typed request.
 ///
@@ -79,6 +88,38 @@ impl ModelSpec {
             _ => "graph",
         }
     }
+
+    /// A stable 64-bit fingerprint of the specification: the model kind
+    /// plus the exact bit patterns of its parameters.
+    ///
+    /// Two specs fingerprint equal iff they request the same model with
+    /// bit-identical parameters, which (together with the topology,
+    /// pinning, and error targets — see `Engine::fingerprint`) is
+    /// exactly the condition under which a `(Task, seed)` pair
+    /// reproduces the same `RunReport`. Serving layers use this as the
+    /// spec component of an idempotency key. The value is independent of
+    /// `std::hash` internals, so it is stable across processes and
+    /// toolchains.
+    pub fn fingerprint(&self) -> u64 {
+        match *self {
+            ModelSpec::Hardcore { lambda } => mix(1, lambda.to_bits()),
+            ModelSpec::Matching { lambda } => mix(2, lambda.to_bits()),
+            ModelSpec::Ising { beta, field } => mix(mix(3, beta.to_bits()), field.to_bits()),
+            ModelSpec::TwoSpin {
+                beta,
+                gamma,
+                lambda,
+                rate,
+            } => {
+                let mut h = mix(4, beta.to_bits());
+                h = mix(h, gamma.to_bits());
+                h = mix(h, lambda.to_bits());
+                mix(h, rate.to_bits())
+            }
+            ModelSpec::Coloring { q } => mix(5, q as u64),
+            ModelSpec::HypergraphMatching { lambda } => mix(6, lambda.to_bits()),
+        }
+    }
 }
 
 /// The network substrate a model runs on.
@@ -104,6 +145,31 @@ impl Topology {
         match self {
             Topology::Graph(_) => None,
             Topology::Hypergraph(h) => Some(h),
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the substrate: node count plus
+    /// every (hyper)edge in storage order. Computed once per engine
+    /// build (it walks the whole edge set), then cached on the engine.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            Topology::Graph(g) => {
+                let mut h = mix(11, g.node_count() as u64);
+                for e in g.edges() {
+                    h = mix(h, (e.u.index() as u64) << 32 | e.v.index() as u64);
+                }
+                h
+            }
+            Topology::Hypergraph(hg) => {
+                let mut h = mix(12, hg.node_count() as u64);
+                for (_, nodes) in hg.edges() {
+                    h = mix(h, nodes.len() as u64);
+                    for v in nodes {
+                        h = mix(h, v.index() as u64);
+                    }
+                }
+                h
+            }
         }
     }
 }

@@ -12,6 +12,12 @@
 //!   a shared atomic counter; results are gathered **in input order**, so
 //!   [`ThreadPool::par_map`] is a drop-in replacement for a sequential
 //!   `map` regardless of how the OS schedules the workers.
+//! * [`channel::bounded`] — a blocking bounded MPMC channel. The pool
+//!   parks workers on an unbounded `std::sync::mpsc` job channel; a
+//!   serving front-end needs the inverse: a bounded request queue whose
+//!   "full" state is an admission-control signal (`try_send` →
+//!   overload rejection) and whose `recv_timeout` is the coalescing
+//!   window. `lds-serve` builds on this.
 //! * [`StreamRng`] — counter-based derivation of independent RNG streams
 //!   from `(seed, label, label, ...)` paths. Because every parallel task
 //!   derives its own stream instead of sharing mutable RNG state, the
@@ -27,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 mod phase;
 mod pool;
 mod stream;

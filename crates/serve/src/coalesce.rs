@@ -1,0 +1,105 @@
+//! Request coalescing: turn a drained batch of requests into the
+//! minimal set of engine calls.
+//!
+//! The JVV-style reductions are embarrassingly parallel across seeds,
+//! so requests that agree on everything *except* the seed are exactly
+//! the shape of one `Engine::run_batch` call. Grouping them amortizes
+//! per-dispatch overhead (one pool fan-out, one ledger pass per group
+//! instead of per request) and hands the engine a seed vector it can
+//! spread across its persistent workers. Within a group, requests that
+//! also agree on the seed are *duplicates* — the paper's determinism
+//! contract makes their answers bit-identical, so they merge into one
+//! execution with many waiters.
+//!
+//! This module is the pure part: batching windows and thread plumbing
+//! live in [`crate::server`]; the grouping itself is a deterministic
+//! function of arrival order, unit-tested in isolation.
+
+use lds_engine::Task;
+
+/// One coalesced engine call: a task plus its deduplicated seeds, each
+/// carrying the waiters to answer.
+pub(crate) struct Group<T> {
+    /// The task every entry in this group requests.
+    pub task: Task,
+    /// `(seed, waiters)` in first-arrival order; seeds are unique.
+    pub entries: Vec<(u64, Vec<T>)>,
+}
+
+/// Groups a drained batch by task and deduplicates identical
+/// `(task, seed)` requests, preserving first-arrival order at both
+/// levels (so dispatch order — and therefore server behavior — is a
+/// deterministic function of arrival order, not of hash iteration).
+pub(crate) fn coalesce<T>(batch: Vec<T>, key: impl Fn(&T) -> (Task, u64)) -> Vec<Group<T>> {
+    let mut groups: Vec<Group<T>> = Vec::new();
+    for item in batch {
+        let (task, seed) = key(&item);
+        let group = match groups.iter_mut().find(|g| g.task == task) {
+            Some(g) => g,
+            None => {
+                groups.push(Group {
+                    task,
+                    entries: Vec::new(),
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        match group.entries.iter_mut().find(|(s, _)| *s == seed) {
+            Some((_, waiters)) => waiters.push(item),
+            None => group.entries.push((seed, vec![item])),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(group: &Group<(Task, u64, u32)>) -> Vec<(u64, Vec<u32>)> {
+        group
+            .entries
+            .iter()
+            .map(|(s, ws)| (*s, ws.iter().map(|w| w.2).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn groups_by_task_and_dedups_by_seed_in_arrival_order() {
+        let reqs = vec![
+            (Task::SampleExact, 7, 0u32),
+            (Task::Count, 7, 1),
+            (Task::SampleExact, 3, 2),
+            (Task::SampleExact, 7, 3), // duplicate of request 0
+            (Task::Count, 9, 4),
+        ];
+        let groups = coalesce(reqs, |&(t, s, _)| (t, s));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].task, Task::SampleExact);
+        assert_eq!(ids(&groups[0]), vec![(7, vec![0, 3]), (3, vec![2])]);
+        assert_eq!(groups[1].task, Task::Count);
+        assert_eq!(ids(&groups[1]), vec![(7, vec![1]), (9, vec![4])]);
+    }
+
+    #[test]
+    fn infer_tasks_group_by_full_payload() {
+        use lds_gibbs::Value;
+        use lds_graph::NodeId;
+        let at = |v: u32| Task::Infer {
+            vertex: NodeId(v),
+            value: Value(1),
+        };
+        let reqs = vec![(at(0), 1, 0u32), (at(1), 1, 1), (at(0), 1, 2)];
+        let groups = coalesce(reqs, |&(t, s, _)| (t, s));
+        // different vertices are different tasks: no false sharing
+        assert_eq!(groups.len(), 2);
+        assert_eq!(ids(&groups[0]), vec![(1, vec![0, 2])]);
+        assert_eq!(ids(&groups[1]), vec![(1, vec![1])]);
+    }
+
+    #[test]
+    fn empty_batch_yields_no_groups() {
+        let groups = coalesce(Vec::<(Task, u64, u32)>::new(), |&(t, s, _)| (t, s));
+        assert!(groups.is_empty());
+    }
+}

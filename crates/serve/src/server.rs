@@ -1,0 +1,715 @@
+//! The serving front-end: bounded admission, worker sessions, coalesced
+//! dispatch, idempotent completion.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lds_engine::{Engine, EngineError, RunReport, Task};
+use lds_runtime::channel::{self, RecvTimeoutError, TrySendError};
+
+use crate::cache::{IdempotencyKey, LruCache};
+use crate::coalesce::coalesce;
+use crate::stats::{Counters, LatencyRecorder, ServerStats};
+
+/// Tuning knobs of a [`Server`]. Start from `ServerConfig::default()`
+/// and override fields; every knob has a safe clamp.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bounded request-queue capacity — the hard admission limit
+    /// (default 256, clamped to ≥ 1). A full queue makes
+    /// [`Server::try_submit`] return [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Soft admission watermark: [`Server::try_submit`] rejects once
+    /// the queue depth reaches this, even below capacity (clamped to
+    /// `1..=queue_capacity` — `Some(0)` would otherwise reject every
+    /// submission forever). `None` (default) means the watermark *is*
+    /// the capacity. Lets a deployer shed load before latency degrades
+    /// rather than when the queue is hard-full.
+    pub admission_watermark: Option<usize>,
+    /// Worker sessions draining the queue (default 1, clamped to ≥ 1).
+    /// Each session coalesces its own batches; the engine's persistent
+    /// pool is shared by all of them.
+    pub workers: usize,
+    /// How long a worker holding one request waits for more compatible
+    /// ones before dispatching the batch (default 200 µs). Zero means
+    /// "opportunistic": take whatever is already queued, never wait.
+    pub coalesce_window: Duration,
+    /// Most requests one dispatch round may carry (default 64, clamped
+    /// to ≥ 1).
+    pub max_batch: usize,
+    /// Idempotency-cache entries (default 1024; `0` disables caching —
+    /// identical requests then still dedup while in flight, but not
+    /// across time).
+    pub cache_capacity: usize,
+    /// Latency-reservoir size for the p50/p99 snapshot (default 4096).
+    pub latency_window: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 256,
+            admission_watermark: None,
+            workers: 1,
+            coalesce_window: Duration::from_micros(200),
+            max_batch: 64,
+            cache_capacity: 1024,
+            latency_window: 4096,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control shed the request: the queue is at its
+    /// watermark. Callers should back off and retry; the depth and
+    /// limit are attached for their telemetry.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+        /// The watermark that was hit.
+        watermark: usize,
+    },
+    /// The server has been shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded {
+                queue_depth,
+                watermark,
+            } => write!(
+                f,
+                "server overloaded: queue depth {queue_depth} at watermark {watermark}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted request did not produce a report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The engine failed the task (the underlying error is attached; a
+    /// coalesced batch fails as a unit, so this may originate from a
+    /// sibling seed in the same `run_batch` call).
+    Engine(EngineError),
+    /// The server dropped the request without an answer (shutdown or a
+    /// worker failure mid-dispatch).
+    Cancelled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Cancelled => write!(f, "request cancelled by the server"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Cancelled => None,
+        }
+    }
+}
+
+/// A claim on one accepted request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<RunReport, ServeError>>,
+    task: Task,
+    seed: u64,
+}
+
+impl Ticket {
+    /// Blocks until the server answers this request.
+    pub fn wait(self) -> Result<RunReport, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            // the responder was dropped without an answer
+            Err(_) => Err(ServeError::Cancelled),
+        }
+    }
+
+    /// The task this ticket is for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The seed this ticket is for.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One queued request: its identity plus the responder to answer it on.
+struct Pending {
+    task: Task,
+    seed: u64,
+    submitted_at: Instant,
+    tx: mpsc::Sender<Result<RunReport, ServeError>>,
+}
+
+/// Cache and in-flight bookkeeping under **one** lock.
+///
+/// Keeping both structures behind a single mutex makes the
+/// at-most-one-execution argument a one-liner: every worker's
+/// resolve-or-claim step and every owner's publish step is atomic with
+/// respect to both maps, so there is no window in which a key is
+/// neither cached nor claimed while an execution for it is running.
+/// (Two locks would force a lock order and still leave a
+/// check-then-act gap unless nested — one lock is simpler and the
+/// critical sections are tiny.)
+struct Ledger {
+    cache: LruCache<IdempotencyKey, RunReport>,
+    /// Keys currently executing, each with the waiters that piggybacked
+    /// after the owning worker claimed the key.
+    inflight: HashMap<IdempotencyKey, Vec<Pending>>,
+}
+
+/// State shared by the handle and every worker session.
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    ledger: Mutex<Ledger>,
+    counters: Counters,
+    latency: Mutex<LatencyRecorder>,
+    /// Probe end of the request queue, used only for depth/peak stats
+    /// (holding a receiver does not keep the queue alive — shutdown is
+    /// signalled by dropping the *sender*).
+    probe: channel::Receiver<Pending>,
+    started_at: Instant,
+}
+
+impl Shared {
+    /// Answers one request and records its service latency.
+    fn respond(&self, pending: Pending, result: Result<RunReport, ServeError>) {
+        let counter = if result.is_ok() {
+            &self.counters.completed
+        } else {
+            &self.counters.failed
+        };
+        Counters::bump(counter, 1);
+        self.latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(pending.submitted_at.elapsed());
+        // a dropped Ticket is a fire-and-forget request; ignore it
+        let _ = pending.tx.send(result);
+    }
+
+    /// Dispatches one drained batch: coalesce, resolve against the
+    /// ledger, run what remains, publish and answer.
+    fn dispatch(self: &Arc<Self>, batch: Vec<Pending>) {
+        Counters::bump(&self.counters.batches, 1);
+        Counters::bump(&self.counters.batched_requests, batch.len() as u64);
+        let fingerprint = self.engine.fingerprint();
+        for group in coalesce(batch, |p| (p.task, p.seed)) {
+            let task = group.task;
+            // phase 1 — resolve each unique seed against the ledger:
+            // answer from cache, piggyback on an identical in-flight
+            // execution, or claim it for execution here
+            let mut to_run: Vec<(u64, Vec<Pending>)> = Vec::new();
+            for (seed, waiters) in group.entries {
+                let key = IdempotencyKey {
+                    fingerprint,
+                    task,
+                    seed,
+                };
+                let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                if let Some(report) = ledger.cache.get(&key).cloned() {
+                    drop(ledger);
+                    Counters::bump(&self.counters.cache_hits, waiters.len() as u64);
+                    for w in waiters {
+                        self.respond(w, Ok(report.clone()));
+                    }
+                    continue;
+                }
+                Counters::bump(&self.counters.cache_misses, waiters.len() as u64);
+                match ledger.inflight.get_mut(&key) {
+                    // another worker owns this key: every waiter rides
+                    // along and will be answered by that owner
+                    Some(riders) => riders.extend(waiters),
+                    None => {
+                        ledger.inflight.insert(key, Vec::new());
+                        to_run.push((seed, waiters));
+                    }
+                }
+            }
+            if to_run.is_empty() {
+                continue;
+            }
+            // phase 2 — one engine call for the whole group. Panics are
+            // contained here: `par_map` re-raises a job panic on its
+            // caller — this worker thread — and letting it unwind past
+            // the claims made in phase 1 would strand the inflight
+            // entries forever (riders never answered, the key never
+            // executable again, and with one worker the whole queue
+            // dead). A panicking execution instead cancels its waiters
+            // and the worker keeps serving.
+            let seeds: Vec<u64> = to_run.iter().map(|(s, _)| *s).collect();
+            Counters::bump(&self.counters.engine_executions, seeds.len() as u64);
+            let outcome: Result<Vec<RunReport>, ServeError> =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.engine.run_batch(task, &seeds)
+                })) {
+                    Ok(Ok(reports)) => Ok(reports),
+                    Ok(Err(err)) => Err(ServeError::Engine(err)),
+                    Err(_panic) => Err(ServeError::Cancelled),
+                };
+            // phase 3 — publish to the cache and answer every waiter,
+            // including riders that attached while we were running
+            match outcome {
+                Ok(reports) => {
+                    for ((seed, waiters), report) in to_run.into_iter().zip(reports) {
+                        let key = IdempotencyKey {
+                            fingerprint,
+                            task,
+                            seed,
+                        };
+                        let riders = {
+                            let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                            ledger.cache.insert(key, report.clone());
+                            ledger.inflight.remove(&key).unwrap_or_default()
+                        };
+                        for w in waiters.into_iter().chain(riders) {
+                            self.respond(w, Ok(report.clone()));
+                        }
+                    }
+                }
+                Err(err) => {
+                    // the execution fails (or panics) as a unit: every
+                    // claimed seed of this group gets the error and its
+                    // inflight claim is released; nothing is cached
+                    for (seed, waiters) in to_run {
+                        let key = IdempotencyKey {
+                            fingerprint,
+                            task,
+                            seed,
+                        };
+                        let riders = {
+                            let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                            ledger.inflight.remove(&key).unwrap_or_default()
+                        };
+                        for w in waiters.into_iter().chain(riders) {
+                            self.respond(w, Err(err.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One worker session: drain the queue, coalesce within the window,
+/// dispatch. Exits when the queue disconnects *and* drains — accepted
+/// requests are always served, even during shutdown.
+fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
+    let window = shared.config.coalesce_window;
+    let max_batch = shared.config.max_batch.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        if window.is_zero() {
+            while batch.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(p) => batch.push(p),
+                    Err(_) => break,
+                }
+            }
+        } else {
+            let deadline = Instant::now() + window;
+            while batch.len() < max_batch {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(p) => batch.push(p),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        shared.dispatch(batch);
+    }
+}
+
+/// A concurrent serving front-end over one shared [`Engine`].
+///
+/// ```text
+///  clients ──try_submit──▶ [bounded queue] ──▶ worker sessions
+///     ▲   Overloaded ◀──┘ (admission ctl)       │  coalesce window
+///     │                                         ▼
+///  Ticket::wait ◀── respond ◀── ledger ◀── Engine::run_batch
+///                         (idempotency cache + in-flight dedup)
+/// ```
+///
+/// * **Admission control** — the request queue is bounded;
+///   [`Server::try_submit`] sheds load with [`SubmitError::Overloaded`]
+///   at the configured watermark instead of queuing unboundedly.
+/// * **Coalescing** — a worker holding one request waits up to
+///   [`ServerConfig::coalesce_window`] for more, then groups compatible
+///   requests (same engine, same [`Task`]) into one
+///   [`Engine::run_batch`] call. Batching across seeds is the engine's
+///   parallel hot path, so a coalesced group costs one dispatch
+///   overhead instead of one per request.
+/// * **Idempotency** — answers are cached under
+///   `(engine fingerprint, task, seed)`. Per-request seeds are the
+///   idempotency key of the whole workspace: task randomness derives
+///   from the seed alone, so a cached answer is bit-identical to a
+///   recomputed one. Identical requests in flight dedup to a single
+///   execution regardless of which worker carries them.
+/// * **Determinism** — coalescing and caching change *when and where*
+///   a task runs, never its output bits: `run_batch` keeps each seed's
+///   execution on a sequential lane, so a report served through the
+///   server equals the report of a direct `engine.run_with_seed` call
+///   (up to wall-clock fields).
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops
+/// admission, drains every accepted request, and joins the workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    /// `None` after shutdown; dropping the sender is the shutdown
+    /// signal (workers exit once the queue disconnects and drains).
+    queue: Option<channel::Sender<Pending>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server with the given configuration; worker sessions
+    /// spawn immediately.
+    pub fn new(engine: Arc<Engine>, config: ServerConfig) -> Server {
+        let (tx, rx) = channel::bounded::<Pending>(config.queue_capacity.max(1));
+        let shared = Arc::new(Shared {
+            engine,
+            ledger: Mutex::new(Ledger {
+                cache: LruCache::new(config.cache_capacity),
+                inflight: HashMap::new(),
+            }),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyRecorder::new(config.latency_window.max(1))),
+            probe: rx.clone(),
+            started_at: Instant::now(),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                thread::Builder::new()
+                    .name(format!("lds-serve-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            shared,
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// Starts a server with [`ServerConfig::default`].
+    pub fn with_defaults(engine: Arc<Engine>) -> Server {
+        Server::new(engine, ServerConfig::default())
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// Submits without blocking. Sheds load with
+    /// [`SubmitError::Overloaded`] once the queue depth reaches the
+    /// admission watermark (or the queue is hard-full) — the
+    /// backpressure contract: the caller, not the server, decides
+    /// whether to retry, degrade, or fail upstream.
+    pub fn try_submit(&self, task: Task, seed: u64) -> Result<Ticket, SubmitError> {
+        Counters::bump(&self.shared.counters.submitted, 1);
+        let Some(queue) = &self.queue else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let watermark = self
+            .shared
+            .config
+            .admission_watermark
+            .unwrap_or(queue.capacity())
+            .clamp(1, queue.capacity());
+        let (pending, ticket) = Self::make_request(task, seed);
+        // the depth check and the enqueue are one atomic operation:
+        // checking `len()` first would let concurrent producers all
+        // observe a below-watermark depth and overshoot it together
+        match queue.try_send_below(pending, watermark) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_, depth)) => {
+                Counters::bump(&self.shared.counters.rejected, 1);
+                Err(SubmitError::Overloaded {
+                    queue_depth: depth,
+                    watermark,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits, blocking while the queue is full (cooperative
+    /// backpressure for in-process clients that prefer waiting over
+    /// shedding).
+    pub fn submit(&self, task: Task, seed: u64) -> Result<Ticket, SubmitError> {
+        Counters::bump(&self.shared.counters.submitted, 1);
+        let Some(queue) = &self.queue else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let (pending, ticket) = Self::make_request(task, seed);
+        queue
+            .send(pending)
+            .map(|()| ticket)
+            .map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Convenience: blocking submit + wait. Use
+    /// [`Server::try_submit`] when the caller needs to observe
+    /// admission-control rejections instead of waiting out the queue.
+    pub fn run(&self, task: Task, seed: u64) -> Result<RunReport, ServeError> {
+        match self.submit(task, seed) {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => Err(ServeError::Cancelled),
+        }
+    }
+
+    fn make_request(task: Task, seed: u64) -> (Pending, Ticket) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                task,
+                seed,
+                submitted_at: Instant::now(),
+                tx,
+            },
+            Ticket { rx, task, seed },
+        )
+    }
+
+    /// A point-in-time stats snapshot (counters are relaxed atomics:
+    /// the snapshot is consistent enough for telemetry, not a barrier).
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let (p50, p99) = self
+            .shared
+            .latency
+            .lock()
+            .expect("latency lock poisoned")
+            .percentiles();
+        ServerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            engine_executions: c.engine_executions.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            queue_depth: self.shared.probe.len(),
+            peak_queue_depth: self.shared.probe.peak_depth(),
+            p50_latency: p50,
+            p99_latency: p99,
+            uptime: self.shared.started_at.elapsed(),
+        }
+    }
+
+    /// Stops admission, drains every accepted request, joins the
+    /// workers. Called automatically on drop; explicit shutdown lets
+    /// callers sequence it (e.g. before reading final stats from a
+    /// clone of the handle's data).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // dropping the only sender disconnects the queue; workers
+        // finish the drain and exit
+        self.queue.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("engine", &self.shared.engine.spec())
+            .field("config", &self.shared.config)
+            .field("queue_depth", &self.shared.probe.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_engine::ModelSpec;
+    use lds_graph::generators;
+
+    fn test_engine() -> Arc<Engine> {
+        Arc::new(
+            Engine::builder()
+                .model(ModelSpec::Hardcore { lambda: 1.0 })
+                .graph(generators::cycle(8))
+                .epsilon(0.01)
+                .threads(1)
+                .build()
+                .expect("in regime"),
+        )
+    }
+
+    #[test]
+    fn serves_and_matches_direct_execution() {
+        let engine = test_engine();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let served = server
+            .try_submit(Task::SampleExact, 13)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let direct = engine.run_with_seed(Task::SampleExact, 13).unwrap();
+        assert_eq!(
+            served.config().unwrap().values(),
+            direct.config().unwrap().values()
+        );
+        assert_eq!(served.rounds, direct.rounds);
+        assert_eq!(served.seed, 13);
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_reexecution() {
+        let server = Server::with_defaults(test_engine());
+        let a = server.run(Task::SampleExact, 5).unwrap();
+        // run sequentially so the second request cannot coalesce with
+        // the first: it must be a pure cache hit
+        let b = server.run(Task::SampleExact, 5).unwrap();
+        assert_eq!(a.config().unwrap().values(), b.config().unwrap().values());
+        let stats = server.stats();
+        assert_eq!(stats.engine_executions, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_replay() {
+        let server = Server::new(
+            test_engine(),
+            ServerConfig {
+                cache_capacity: 0,
+                ..ServerConfig::default()
+            },
+        );
+        server.run(Task::SampleExact, 5).unwrap();
+        server.run(Task::SampleExact, 5).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.engine_executions, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn distinct_tasks_and_seeds_all_complete() {
+        let server = Server::with_defaults(test_engine());
+        let tickets: Vec<Ticket> = (0..6u64)
+            .map(|s| server.try_submit(Task::SampleExact, s).unwrap())
+            .chain((0..2u64).map(|s| server.try_submit(Task::Count, s).unwrap()))
+            .collect();
+        for t in tickets {
+            let report = t.wait().unwrap();
+            assert!(report.rounds > 0);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 8);
+        // Count is seed-independent in output but still keyed by seed:
+        // the two Count requests execute separately (different keys)
+        assert_eq!(stats.engine_executions, 8);
+    }
+
+    #[test]
+    fn failed_execution_releases_claims_and_server_keeps_serving() {
+        use lds_gibbs::Value;
+        use lds_graph::NodeId;
+        let server = Server::with_defaults(test_engine());
+        // an out-of-range vertex makes run_batch fail inside dispatch:
+        // the claim must be released and the error surfaced, not cached
+        let bad = Task::Infer {
+            vertex: NodeId(999),
+            value: Value(0),
+        };
+        for _ in 0..2 {
+            let err = server.run(bad, 1).unwrap_err();
+            assert!(matches!(
+                err,
+                ServeError::Engine(EngineError::InvalidTask { .. })
+            ));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.failed, 2);
+        // both attempts executed: failures are not cached, and the
+        // first failure's inflight claim did not wedge the key
+        assert_eq!(stats.engine_executions, 2);
+        // the worker survives and serves healthy requests
+        let ok = server.run(Task::SampleExact, 3).unwrap();
+        assert!(ok.config().is_some());
+        assert_eq!(server.stats().completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let server = Server::new(
+            test_engine(),
+            ServerConfig {
+                coalesce_window: Duration::from_millis(2),
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..8u64)
+            .map(|s| server.try_submit(Task::SampleExact, s).unwrap())
+            .collect();
+        server.shutdown(); // joins workers; accepted work must finish
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted request dropped on shutdown");
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_counts_batches() {
+        let server = Server::with_defaults(test_engine());
+        for s in 0..4u64 {
+            server.run(Task::SampleExact, s).unwrap();
+        }
+        let stats = server.stats();
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.batched_requests, 4);
+        assert_eq!(stats.submitted, 4);
+        assert!(stats.p50_latency > Duration::ZERO);
+        assert!(stats.p99_latency >= stats.p50_latency);
+        assert_eq!(stats.queue_depth, 0);
+    }
+}

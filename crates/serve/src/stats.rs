@@ -1,0 +1,251 @@
+//! Serving observability: lock-free counters, a latency reservoir, and
+//! the [`ServerStats`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic event counters bumped on the request path. All relaxed:
+/// each counter is an independent tally, never used to synchronize.
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// Submission attempts (accepted + rejected).
+    pub submitted: AtomicU64,
+    /// Requests shed by admission control.
+    pub rejected: AtomicU64,
+    /// Requests answered with a report.
+    pub completed: AtomicU64,
+    /// Requests answered with an error.
+    pub failed: AtomicU64,
+    /// Requests answered straight from the idempotency cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that missed the cache (executed or piggybacked on an
+    /// identical in-flight execution).
+    pub cache_misses: AtomicU64,
+    /// Seeds actually run on the engine. `cache_misses −
+    /// engine_executions` is the number of requests deduplicated
+    /// against an identical concurrent execution.
+    pub engine_executions: AtomicU64,
+    /// Coalesced dispatch rounds.
+    pub batches: AtomicU64,
+    /// Requests dispatched across all rounds (`/ batches` = mean
+    /// coalescing factor).
+    pub batched_requests: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-size ring of the most recent request latencies, recorded at
+/// response time with the same wall clocks the engine's `Phase`
+/// breakdown uses. Percentiles are computed over the retained window
+/// (the last `capacity` requests), which is the standard trade for a
+/// dependency-free p50/p99 with bounded memory.
+pub(crate) struct LatencyRecorder {
+    ring: Vec<u64>,
+    /// Window size (`Vec::capacity` is only a lower bound, so the
+    /// modulus is stored explicitly).
+    window: usize,
+    next: usize,
+}
+
+impl LatencyRecorder {
+    pub(crate) fn new(window: usize) -> Self {
+        let window = window.max(1);
+        LatencyRecorder {
+            ring: Vec::with_capacity(window.min(65536)),
+            window,
+            next: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        if self.ring.len() < self.window {
+            self.ring.push(ns);
+        } else {
+            self.ring[self.next] = ns;
+        }
+        self.next = (self.next + 1) % self.window;
+    }
+
+    /// `(p50, p99)` over the retained window (zeros when empty).
+    pub(crate) fn percentiles(&self) -> (Duration, Duration) {
+        if self.ring.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let mut sorted = self.ring.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+            Duration::from_nanos(sorted[i])
+        };
+        (at(0.50), at(0.99))
+    }
+}
+
+/// A point-in-time snapshot of a server's counters and latency
+/// percentiles — what a scrape endpoint would export.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Submission attempts (accepted + rejected).
+    pub submitted: u64,
+    /// Requests shed by admission control ([`crate::SubmitError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests answered with a report.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Requests answered straight from the idempotency cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache.
+    pub cache_misses: u64,
+    /// Seeds actually executed on the engine.
+    pub engine_executions: u64,
+    /// Coalesced dispatch rounds.
+    pub batches: u64,
+    /// Requests dispatched across all rounds.
+    pub batched_requests: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// High-watermark of queue depth since the server started.
+    pub peak_queue_depth: usize,
+    /// Median request latency over the recent window (submit → respond).
+    pub p50_latency: Duration,
+    /// 99th-percentile request latency over the recent window.
+    pub p99_latency: Duration,
+    /// Time since the server started.
+    pub uptime: Duration,
+}
+
+impl ServerStats {
+    /// Fraction of answered lookups served from the cache
+    /// (`hits / (hits + misses)`; `0` before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean number of requests per coalesced dispatch round.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Requests that were deduplicated against an identical concurrent
+    /// execution (answered without running the engine and without a
+    /// cache hit).
+    pub fn deduped(&self) -> u64 {
+        self.cache_misses.saturating_sub(self.engine_executions)
+    }
+
+    /// Completed requests per second of uptime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} failed, {} rejected",
+            self.submitted, self.completed, self.failed, self.rejected
+        )?;
+        writeln!(
+            f,
+            "cache:    {} hits / {} misses (hit rate {:.1}%), {} deduped in flight",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.deduped()
+        )?;
+        writeln!(
+            f,
+            "engine:   {} executions in {} batches (mean coalescing {:.2}x)",
+            self.engine_executions,
+            self.batches,
+            self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "queue:    depth {} (peak {})",
+            self.queue_depth, self.peak_queue_depth
+        )?;
+        write!(
+            f,
+            "latency:  p50 {:.3} ms, p99 {:.3} ms; throughput {:.0} req/s over {:.2} s",
+            self.p50_latency.as_secs_f64() * 1e3,
+            self.p99_latency.as_secs_f64() * 1e3,
+            self.throughput(),
+            self.uptime.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_a_window() {
+        let mut rec = LatencyRecorder::new(100);
+        let (p50, p99) = rec.percentiles();
+        assert_eq!((p50, p99), (Duration::ZERO, Duration::ZERO));
+        for i in 1..=100u64 {
+            rec.record(Duration::from_nanos(i));
+        }
+        let (p50, p99) = rec.percentiles();
+        // index = round(99 · q): p50 → sorted[50] = 51, p99 → sorted[98] = 99
+        assert_eq!(p50, Duration::from_nanos(51));
+        assert_eq!(p99, Duration::from_nanos(99));
+        // the ring retains only the most recent `capacity` samples
+        for _ in 0..100 {
+            rec.record(Duration::from_nanos(7));
+        }
+        let (p50, p99) = rec.percentiles();
+        assert_eq!(p50, Duration::from_nanos(7));
+        assert_eq!(p99, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let stats = ServerStats {
+            submitted: 100,
+            rejected: 10,
+            completed: 88,
+            failed: 2,
+            cache_hits: 30,
+            cache_misses: 60,
+            engine_executions: 45,
+            batches: 15,
+            batched_requests: 90,
+            queue_depth: 0,
+            peak_queue_depth: 12,
+            p50_latency: Duration::from_micros(500),
+            p99_latency: Duration::from_millis(4),
+            uptime: Duration::from_secs(2),
+        };
+        assert!((stats.cache_hit_rate() - 30.0 / 90.0).abs() < 1e-12);
+        assert!((stats.mean_batch_size() - 6.0).abs() < 1e-12);
+        assert_eq!(stats.deduped(), 15);
+        assert!((stats.throughput() - 44.0).abs() < 1e-12);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("hit rate 33.3%"));
+        assert!(rendered.contains("peak 12"));
+    }
+}

@@ -27,8 +27,13 @@
 //! * [`ssm`] — strong spatial mixing estimation, rate fitting, the phase
 //!   transition and the `Ω(diam)` lower-bound witness.
 //! * [`runtime`] — the deterministic parallel runtime: a work-stealing
-//!   `std::thread` pool and counter-based RNG stream derivation, so
-//!   every result is bit-identical regardless of thread count.
+//!   `std::thread` pool, a bounded blocking MPMC channel, and
+//!   counter-based RNG stream derivation, so every result is
+//!   bit-identical regardless of thread count.
+//! * [`serve`] — the concurrent serving front-end: a bounded request
+//!   queue with admission control, request coalescing into
+//!   `run_batch`, and an idempotency cache keyed by
+//!   `(engine fingerprint, task, seed)`.
 //!
 //! # Quickstart
 //!
@@ -73,4 +78,5 @@ pub use lds_graph as graph;
 pub use lds_localnet as localnet;
 pub use lds_oracle as oracle;
 pub use lds_runtime as runtime;
+pub use lds_serve as serve;
 pub use lds_ssm as ssm;

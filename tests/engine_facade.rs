@@ -1,7 +1,7 @@
 //! Facade round trips: every `ModelSpec` variant is constructible and
 //! serviceable through `Engine` alone — `SampleExact` outputs are
 //! feasible, `Infer` marginals normalize, `run_batch` decorrelates
-//! seeds, and the legacy free functions agree with the facade.
+//! seeds and agrees bitwise with single-seed dispatch.
 
 use lds::engine::{Engine, ModelSpec, Task, TaskOutput};
 use lds::gibbs::models::hypergraph_matching::HypergraphMatchingInstance;
@@ -244,25 +244,34 @@ fn run_batch_with_distinct_seeds_yields_distinct_outputs() {
 }
 
 #[test]
-fn facade_agrees_with_deprecated_shims() {
-    // the legacy free functions and the engine share regime validation
-    // and oracle wiring, so the same seed must give the same output
-    #[allow(deprecated)]
-    let legacy = lds::core::apps::sample_hardcore(&generators::cycle(10), 1.0, 0.01, 9).unwrap();
+fn run_batch_agrees_with_single_seed_dispatch() {
+    // the batch hot path and one-at-a-time dispatch are the same
+    // computation (the `lds_core::apps` shims this test used to compare
+    // against are gone; the batch/single parity is the surviving
+    // wiring-equivalence check) — outputs must match bit for bit
     let engine = Engine::builder()
         .model(ModelSpec::Hardcore { lambda: 1.0 })
         .graph(generators::cycle(10))
         .epsilon(0.01)
         .build()
         .unwrap();
-    let facade = engine.run_with_seed(Task::SampleExact, 9).unwrap();
+    let seeds = [9u64, 2, 77, 9]; // duplicate seed included
+    let batch = engine.run_batch(Task::SampleExact, &seeds).unwrap();
+    for (seed, batched) in seeds.iter().zip(&batch) {
+        let single = engine.run_with_seed(Task::SampleExact, *seed).unwrap();
+        assert_eq!(
+            batched.config().unwrap().values(),
+            single.config().unwrap().values(),
+            "batch and single dispatch diverged on seed {seed}"
+        );
+        assert_eq!(batched.rounds, single.rounds);
+        assert_eq!(batched.seed, *seed);
+    }
     assert_eq!(
-        legacy.output.values(),
-        facade.config().unwrap().values(),
-        "legacy shim and facade diverged on the same seed"
+        batch[0].config().unwrap().values(),
+        batch[3].config().unwrap().values(),
+        "identical seeds must give identical outputs within one batch"
     );
-    assert_eq!(legacy.rounds, facade.rounds);
-    assert_eq!(legacy.rate, facade.rate);
 }
 
 #[test]

@@ -1,0 +1,346 @@
+//! Serving-layer contracts: concurrent idempotency (bit-identical
+//! answers, at most one engine execution per key), determinism across
+//! pool widths, and admission-control backpressure.
+//!
+//! These run in the CI `LDS_THREADS` determinism matrix: engines built
+//! without an explicit width pick up the matrix value, so every
+//! assertion here holds at widths 1, 4, and 8.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use lds::engine::{Engine, ModelSpec, RunReport, Task};
+use lds::graph::generators;
+use lds::serve::{Server, ServerConfig, SubmitError};
+
+fn hardcore_engine(n: usize) -> Arc<Engine> {
+    Arc::new(
+        Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(n))
+            .epsilon(0.001)
+            .build()
+            .expect("in regime"),
+    )
+}
+
+/// The output-bit fields of a report (everything except wall clocks):
+/// configuration values, rounds, seed, and the acceptance-product bits.
+type OutputBits = (Vec<u32>, usize, u64, Option<u64>);
+
+fn output_bits(r: &RunReport) -> OutputBits {
+    (
+        r.config()
+            .expect("sampling task")
+            .values()
+            .iter()
+            .map(|v| v.index() as u32)
+            .collect(),
+        r.rounds,
+        r.seed,
+        r.stats.as_ref().map(|s| s.acceptance_product.to_bits()),
+    )
+}
+
+#[test]
+fn concurrent_identical_requests_are_bit_identical_and_execute_once() {
+    let engine = hardcore_engine(10);
+    let direct = engine.run_with_seed(Task::SampleExact, 42).unwrap();
+    // two worker sessions so the in-flight ledger (not worker
+    // single-threading) has to provide the at-most-one guarantee
+    let server = Arc::new(Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            coalesce_window: Duration::from_micros(500),
+            ..ServerConfig::default()
+        },
+    ));
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait(); // release all clients at once
+                server
+                    .submit(Task::SampleExact, 42)
+                    .expect("queue has room")
+                    .wait()
+                    .expect("request served")
+            })
+        })
+        .collect();
+    let reports: Vec<RunReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for report in &reports {
+        assert_eq!(
+            output_bits(report),
+            output_bits(&direct),
+            "served answer diverged from direct execution"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, CLIENTS as u64);
+    assert_eq!(
+        stats.engine_executions, 1,
+        "identical concurrent requests must dedup to one execution: {stats}"
+    );
+    assert_eq!(
+        stats.cache_hits + stats.deduped(),
+        CLIENTS as u64 - 1,
+        "every duplicate is answered by cache or in-flight dedup: {stats}"
+    );
+}
+
+#[test]
+fn served_outputs_are_identical_across_pool_widths() {
+    // same request stream through servers over width-1 and width-4
+    // engines: every answer must be bit-identical (the runtime's
+    // stream-derivation contract, surfaced end to end through the
+    // serving layer)
+    let mut by_width: Vec<Vec<OutputBits>> = Vec::new();
+    for width in [1usize, 4] {
+        let engine = Arc::new(
+            Engine::builder()
+                .model(ModelSpec::Hardcore { lambda: 1.0 })
+                .graph(generators::cycle(10))
+                .epsilon(0.001)
+                .threads(width)
+                .build()
+                .unwrap(),
+        );
+        let server = Server::with_defaults(engine);
+        let tickets: Vec<_> = (0..12u64)
+            .map(|seed| server.try_submit(Task::SampleExact, seed).unwrap())
+            .collect();
+        by_width.push(
+            tickets
+                .into_iter()
+                .map(|t| output_bits(&t.wait().unwrap()))
+                .collect(),
+        );
+    }
+    assert_eq!(
+        by_width[0], by_width[1],
+        "serving results changed with pool width"
+    );
+}
+
+#[test]
+fn coalescing_batches_compatible_requests() {
+    let server = Server::new(
+        hardcore_engine(8),
+        ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::from_millis(5),
+            max_batch: 64,
+            ..ServerConfig::default()
+        },
+    );
+    // submit a burst faster than the window closes: the single worker
+    // must fold it into far fewer dispatch rounds than requests
+    let tickets: Vec<_> = (0..16u64)
+        .map(|seed| server.submit(Task::SampleExact, seed).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.batched_requests, 16);
+    assert!(
+        stats.mean_batch_size() > 1.0,
+        "no coalescing happened: {stats}"
+    );
+    assert_eq!(stats.engine_executions, 16, "all seeds distinct");
+}
+
+#[test]
+fn backpressure_rejects_above_watermark_without_deadlock() {
+    // a deliberately tiny, slow server: one worker, no coalescing, a
+    // 2-deep queue, and a model large enough that each execution takes
+    // ~milliseconds while submissions take microseconds
+    let server = Server::new(
+        hardcore_engine(18),
+        ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::ZERO,
+            max_batch: 1,
+            queue_capacity: 2,
+            cache_capacity: 0, // every request must actually execute
+            ..ServerConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for seed in 0..64u64 {
+        match server.try_submit(Task::SampleExact, seed) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(SubmitError::Overloaded {
+                queue_depth,
+                watermark,
+            }) => {
+                assert!(queue_depth >= watermark.min(2));
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 64-request flood against a 2-deep queue must shed load"
+    );
+    // every accepted request still completes: shedding never deadlocks
+    // or starves admitted work
+    let accepted_count = accepted.len() as u64;
+    for ticket in accepted {
+        ticket.wait().expect("accepted request must be served");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, accepted_count);
+    assert!(stats.peak_queue_depth >= 1);
+    // once drained, admission recovers
+    server
+        .try_submit(Task::SampleExact, 1000)
+        .expect("admission must recover after the queue drains")
+        .wait()
+        .expect("post-recovery request served");
+}
+
+#[test]
+fn watermark_below_capacity_sheds_early() {
+    let server = Server::new(
+        hardcore_engine(18),
+        ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::ZERO,
+            max_batch: 1,
+            queue_capacity: 16,
+            admission_watermark: Some(2),
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for seed in 0..32u64 {
+        match server.try_submit(Task::SampleExact, seed) {
+            Ok(t) => accepted.push(t),
+            Err(SubmitError::Overloaded { watermark, .. }) => {
+                assert_eq!(watermark, 2, "the soft watermark governs, not capacity");
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+    }
+    assert!(shed > 0, "soft watermark never triggered");
+    assert!(
+        server.stats().peak_queue_depth <= 3,
+        "queue grew past the soft watermark"
+    );
+    for t in accepted {
+        t.wait().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_producers_cannot_overshoot_the_watermark() {
+    // the depth check and the enqueue are atomic in try_submit: even
+    // with many producers racing, the queue never exceeds the soft
+    // watermark (this is what a post-hoc `len()` check cannot give)
+    let server = Arc::new(Server::new(
+        hardcore_engine(16),
+        ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::ZERO,
+            max_batch: 1,
+            queue_capacity: 16,
+            admission_watermark: Some(2),
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    ));
+    const PRODUCERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(PRODUCERS));
+    let handles: Vec<_> = (0..PRODUCERS as u64)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut tickets = Vec::new();
+                for i in 0..8u64 {
+                    if let Ok(t) = server.try_submit(Task::SampleExact, p * 100 + i) {
+                        tickets.push(t);
+                    }
+                }
+                tickets
+            })
+        })
+        .collect();
+    for h in handles {
+        for t in h.join().unwrap() {
+            t.wait().expect("accepted request served");
+        }
+    }
+    let stats = server.stats();
+    assert!(
+        stats.peak_queue_depth <= 2,
+        "racing producers overshot the watermark: {stats}"
+    );
+    assert!(stats.rejected > 0, "64 racing submissions must shed load");
+}
+
+#[test]
+fn mixed_task_stream_serves_every_request() {
+    let engine = hardcore_engine(8);
+    let server = Arc::new(Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            coalesce_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    ));
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                let mut answers = Vec::new();
+                for i in 0..8u64 {
+                    let (task, seed) = if i % 2 == 0 {
+                        (Task::SampleExact, i / 2) // seeds shared across clients
+                    } else {
+                        (Task::Count, 0)
+                    };
+                    answers.push((task, server.submit(task, seed).unwrap().wait().unwrap()));
+                }
+                (c, answers)
+            })
+        })
+        .collect();
+    let mut count_estimates = Vec::new();
+    for client in clients {
+        let (_, answers) = client.join().unwrap();
+        for (task, report) in answers {
+            match task {
+                Task::Count => count_estimates.push(report.log_z().unwrap().to_bits()),
+                _ => assert!(report.config().is_some()),
+            }
+        }
+    }
+    // every Count answer (same key from all clients) is bit-identical
+    count_estimates.dedup();
+    assert_eq!(count_estimates.len(), 1);
+    let stats = server.stats();
+    assert_eq!(stats.completed, 32);
+    // 4 clients × 4 SampleExact share 4 unique seeds; Count shares one
+    // key: at most 5 executions despite 32 requests
+    assert!(
+        stats.engine_executions <= 5,
+        "idempotency failed to collapse the shared keys: {stats}"
+    );
+}

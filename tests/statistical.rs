@@ -104,6 +104,26 @@ fn coloring_exact_samples_fit_the_gibbs_law() {
     assert!(test.p_value > P_FLOOR, "coloring misfit: {test:?}");
 }
 
+#[test]
+fn matching_exact_samples_fit_the_gibbs_law() {
+    // P4 at λ = 1: the line graph is P3, whose monomer–dimer law has 5
+    // configurations. Ported from the removed `lds_core::apps` test
+    // suite (`matching_empirical_distribution_is_exact`) — matchings
+    // are the one Corollary 5.3 model the facade suites above don't
+    // cover statistically, and the only one whose carrier (the line
+    // graph) differs from the input topology.
+    let engine = Engine::builder()
+        .model(ModelSpec::Matching { lambda: 1.0 })
+        .graph(generators::path(4))
+        .epsilon(0.002)
+        .threads(2)
+        .build()
+        .unwrap();
+    let test = chi_square_exactness(&engine, 2000);
+    assert!(test.dof >= 3, "degenerate binning: {test:?}");
+    assert!(test.p_value > P_FLOOR, "matching misfit: {test:?}");
+}
+
 /// The same goodness-of-fit, but with each execution's **intra-task**
 /// parallelism live: samples are drawn one `run_with_seed` at a time on
 /// a width-4 pool, so all three `local-JVV` passes — the rejection pass
