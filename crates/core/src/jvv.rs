@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use lds_gibbs::{distribution, Config, PartialConfig, Value};
 use lds_graph::{traversal, NodeId};
 use lds_localnet::local::LocalRun;
-use lds_localnet::scheduler::{self, ChromaticSchedule};
+use lds_localnet::scheduler::{self, ChromaticSchedule, ShardingStats};
 use lds_localnet::slocal::{
     self, multipass_locality, ScanKernel, SlocalAlgorithm, SlocalKernel, SlocalRun,
 };
@@ -193,15 +193,21 @@ where
     ) -> (JvvOutcome, JvvPassTimings) {
         let mut timings = JvvPassTimings::default();
         let start = Instant::now();
-        let ground = scheduler::run_kernel_chromatic(net, &self.ground_kernel(), schedule, pool);
+        let (ground, stats) =
+            scheduler::run_kernel_chromatic_with_stats(net, &self.ground_kernel(), schedule, pool);
         timings.ground = start.elapsed();
+        timings.sharding.merge(&stats);
         let start = Instant::now();
-        let sampled = scheduler::run_kernel_chromatic(net, &self.chain_kernel(), schedule, pool);
+        let (sampled, stats) =
+            scheduler::run_kernel_chromatic_with_stats(net, &self.chain_kernel(), schedule, pool);
         timings.sample = start.elapsed();
+        timings.sharding.merge(&stats);
         let start = Instant::now();
         let reject = self.reject_kernel(net, &schedule.order, ground, sampled);
-        let outcome = scheduler::run_kernel_chromatic(net, &reject, schedule, pool);
+        let (outcome, stats) =
+            scheduler::run_kernel_chromatic_with_stats(net, &reject, schedule, pool);
         timings.reject = start.elapsed();
+        timings.sharding.merge(&stats);
         (outcome, timings)
     }
 
@@ -367,7 +373,8 @@ where
     }
 }
 
-/// Per-pass wall-clock times of a scheduled `local-JVV` execution.
+/// Per-pass wall-clock times of a scheduled `local-JVV` execution, plus
+/// the sharding telemetry the three chromatic runs accumulated.
 #[derive(Clone, Debug, Default)]
 pub struct JvvPassTimings {
     /// Pass 1 (ground state σ₀).
@@ -376,6 +383,8 @@ pub struct JvvPassTimings {
     pub sample: Duration,
     /// Pass 3 (local rejection).
     pub reject: Duration,
+    /// Halo/bytes-cloned telemetry merged across the three passes.
+    pub sharding: ShardingStats,
 }
 
 /// Pass-1 kernel: extend `τ` feasibly by picking the first value with
@@ -392,8 +401,12 @@ impl<O: MultiplicativeInference + Sync> SlocalKernel for GroundKernel<O> {
     fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
         let model = net.instance().model();
         let q = model.alphabet_size();
-        let mu = self.oracle.marginal_mul(model, sigma, v, self.eps);
-        if let Some(c) = (0..q).find(|&c| mu[c] > 0.0) {
+        // only *positivity* matters here (positive estimate ⟹ positive
+        // truth); `support_mul` lets the oracle certify it without
+        // computing the magnitude — for the SAW oracle a one-or-two
+        // level tree instead of the full planned radius
+        let support = self.oracle.support_mul(model, sigma, v, self.eps);
+        if let Some(c) = (0..q).find(|&c| support[c]) {
             return (Value::from_index(c), false);
         }
         // defensive fallback: greedy local feasibility
@@ -519,17 +532,39 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
     /// compute the acceptance probability `q_{v_i}` (Claim 4.7), flip
     /// `v_i`'s private coin. Pure function of the path state within
     /// `B_R(v_i)`, the context, and `v_i`'s randomness.
+    ///
+    /// **Halo-local by construction**: every read of `sigma_prev` stays
+    /// within `B_{R}(v_i)` — the repair works on ball-restricted values,
+    /// the feasibility checks visit only factors touching the ball
+    /// (factors farther out are positive by the path invariant, so the
+    /// frozen reference's global scan decides identically), and the
+    /// chain-rule prefixes handed to the oracle are restricted to the
+    /// scan positions the oracle can actually reach
+    /// (`dist(v_i, v_j) ≤ cutoff` plus the oracle radius `t`). A full
+    /// prefix differing only beyond that region yields the exact factor
+    /// `x/x = 1` in the reference, so restricting is bit-identical.
+    /// This is what lets the chromatic runner ship halo projections of
+    /// the configuration path instead of full clones — and it also
+    /// removes the reference's per-position full-pinning clones from
+    /// the sequential hot path.
     fn step(&self, net: &Network, sigma_prev: &Config, vi: NodeId) -> RejectEffect {
         let ctx = &*self.ctx;
         let model = net.instance().model();
         let tau = net.instance().pinning();
         let g = model.graph();
+        let n = model.node_count();
         let i = ctx.pos[vi.index()];
+        let w = ctx.t.max(ctx.ell);
         // σ_i: agree with Y on order[..=i], differ from σ_{i-1} only
         // inside B_t(vi), stay feasible (Claim 4.6 via greedy repair).
-        let ball: Vec<NodeId> = traversal::ball(g, vi, ctx.t.max(ctx.ell));
-        let sigma_i = match repair(model, sigma_prev, &ctx.y, &ball, &ctx.pos, i) {
-            Some(c) => c,
+        let ball: Vec<NodeId> = traversal::ball(g, vi, w);
+        let mut ball_idx = vec![usize::MAX; n];
+        for (k, &u) in ball.iter().enumerate() {
+            ball_idx[u.index()] = k;
+        }
+        let ball_vals = match repair_local(model, sigma_prev, &ctx.y, &ball, &ball_idx, &ctx.pos, i)
+        {
+            Some(vals) => vals,
             None => {
                 return RejectEffect {
                     writes: Vec::new(),
@@ -539,10 +574,37 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
                 }
             }
         };
+        // where σ_i differs from σ_{i−1}: confined to the ball, listed
+        // in ball (BFS) order like the frozen reference
+        let writes: Vec<(NodeId, Value)> = ball
+            .iter()
+            .enumerate()
+            .filter(|&(k, &u)| ball_vals[k] != sigma_prev.get(u))
+            .map(|(k, &u)| (u, ball_vals[k]))
+            .collect();
+        let val_i = |u: NodeId| -> Value {
+            match ball_idx[u.index()] {
+                usize::MAX => sigma_prev.get(u),
+                k => ball_vals[k],
+            }
+        };
 
         // acceptance probability q_{v_i}
-        let cutoff = 2 * ctx.t.max(ctx.ell) + ctx.ell;
+        let cutoff = 2 * w + ctx.ell;
         let dist = traversal::bfs_distances(g, vi);
+        // scan positions any queried oracle can see: vj within `cutoff`,
+        // reading pins a further `t` out
+        let read_radius = cutoff + ctx.t;
+        let mut read_nodes: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|u| {
+                let d = dist[u.index()];
+                d != traversal::UNREACHABLE && (d as usize) <= read_radius
+            })
+            .collect();
+        read_nodes.sort_unstable_by_key(|u| ctx.pos[u.index()]);
+        let mut prefix_prev = PrefixScratch::new(tau);
+        let mut prefix_new = PrefixScratch::new(tau);
         let mut ratio = 1.0f64;
         // density ratio μ̂^τ(σ_{i-1}) / μ̂^τ(σ_i): only scan positions
         // within the cutoff ball differ.
@@ -556,14 +618,21 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
             }
             let j = ctx.pos[vj.index()];
             let prev_val = sigma_prev.get(vj);
-            let new_val = sigma_i.get(vj);
-            let prefix_prev = prefix_pinning(tau, &ctx.order, sigma_prev, j);
-            let prefix_new = prefix_pinning(tau, &ctx.order, &sigma_i, j);
-            if prev_val == new_val && prefix_prev == prefix_new {
+            let new_val = val_i(vj);
+            // the reference's prefix-equality short-circuit, decided
+            // without building prefixes: the full prefixes at position
+            // j differ iff some repair write sits at a position < j
+            if prev_val == new_val && writes.iter().all(|&(u, _)| ctx.pos[u.index()] >= j) {
                 continue;
             }
-            let mu_prev = self.oracle.marginal_mul(model, &prefix_prev, vj, self.eps);
-            let mu_new = self.oracle.marginal_mul(model, &prefix_new, vj, self.eps);
+            prefix_prev.set_prefix(&read_nodes, &ctx.pos, j, |u| sigma_prev.get(u));
+            let mu_prev = self
+                .oracle
+                .marginal_mul(model, prefix_prev.pinning(), vj, self.eps);
+            prefix_new.set_prefix(&read_nodes, &ctx.pos, j, val_i);
+            let mu_new = self
+                .oracle
+                .marginal_mul(model, prefix_new.pinning(), vj, self.eps);
             let num = mu_prev[prev_val.index()];
             let den = mu_new[new_val.index()];
             if den > 0.0 {
@@ -579,17 +648,14 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
                     .scope()
                     .iter()
                     .filter(|s| {
-                        dist[s.index()] != traversal::UNREACHABLE
-                            && (dist[s.index()] as usize) <= ctx.t.max(ctx.ell)
+                        dist[s.index()] != traversal::UNREACHABLE && (dist[s.index()] as usize) <= w
                     })
                     .min()
                     .copied();
                 if first != Some(u) {
                     continue;
                 }
-                let w_new = f
-                    .eval_partial(|s| Some(sigma_i.get(s)))
-                    .expect("full config");
+                let w_new = f.eval_partial(|s| Some(val_i(s))).expect("full config");
                 let w_prev = f
                     .eval_partial(|s| Some(sigma_prev.get(s)))
                     .expect("full config");
@@ -606,11 +672,6 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
         }
         let mut rng = net.node_rng(vi, STREAM_JVV_REJECT);
         let fail = !rng.gen_bool(q_vi.max(0.0));
-        let writes: Vec<(NodeId, Value)> = ball
-            .iter()
-            .filter(|&&u| sigma_i.get(u) != sigma_prev.get(u))
-            .map(|&u| (u, sigma_i.get(u)))
-            .collect();
         RejectEffect {
             writes,
             fail,
@@ -618,6 +679,152 @@ impl<O: MultiplicativeInference + Sync> RejectKernel<O> {
             clamped,
         }
     }
+}
+
+/// Reusable chain-rule prefix `τ ∧ (order[..j] ∩ read region ↦ config)`:
+/// seeded with `τ` once per rejection step, re-pinned per queried
+/// position, rolled back afterwards — no per-position full clones.
+struct PrefixScratch {
+    pc: PartialConfig,
+    /// Nodes pinned on top of `τ`, with `τ`'s original slot for rollback.
+    touched: Vec<(NodeId, Option<Value>)>,
+}
+
+impl PrefixScratch {
+    fn new(tau: &PartialConfig) -> Self {
+        PrefixScratch {
+            pc: tau.clone(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Loads the prefix at scan position `j`: pins every read-region
+    /// node with position `< j` (`read_nodes` is sorted by position) to
+    /// its value under `get`, after rolling back the previous load.
+    fn set_prefix(
+        &mut self,
+        read_nodes: &[NodeId],
+        pos: &[usize],
+        j: usize,
+        get: impl Fn(NodeId) -> Value,
+    ) {
+        for (u, old) in self.touched.drain(..) {
+            match old {
+                Some(v) => self.pc.pin(u, v),
+                None => self.pc.unpin(u),
+            }
+        }
+        for &u in read_nodes {
+            if pos[u.index()] >= j {
+                break;
+            }
+            self.touched.push((u, self.pc.get(u)));
+            self.pc.pin(u, get(u));
+        }
+    }
+
+    fn pinning(&self) -> &PartialConfig {
+        &self.pc
+    }
+}
+
+/// Claim 4.6 constructively and **ball-locally**: the values `σ_i` takes
+/// on `ball` — agreeing with `Y` on scanned positions `≤ i`, equal to
+/// `σ_prev` outside the ball, feasible. Greedy repair of the unscanned
+/// ball nodes in increasing id order (sound for locally admissible
+/// models), mirroring [`repair`]'s decisions exactly while reading
+/// `σ_prev` only on `ball + ℓ` and visiting only factors touching the
+/// ball — factors farther out evaluate on the untouched path state,
+/// which is feasible (the path invariant), so the reference's global
+/// feasibility scan decides identically.
+fn repair_local(
+    model: &lds_gibbs::GibbsModel,
+    sigma_prev: &Config,
+    y: &Config,
+    ball: &[NodeId],
+    ball_idx: &[usize],
+    pos: &[usize],
+    i: usize,
+) -> Option<Vec<Value>> {
+    let q = model.alphabet_size();
+    // σ_i on the ball: scanned positions (vi included) take Y's values;
+    // the rest are repaired below
+    let mut vals: Vec<Option<Value>> = ball
+        .iter()
+        .map(|&u| {
+            if pos[u.index()] <= i {
+                Some(y.get(u))
+            } else {
+                None
+            }
+        })
+        .collect();
+    // the candidate pinning's value at any node; `None` = still free
+    fn val_at(
+        vals: &[Option<Value>],
+        ball_idx: &[usize],
+        sigma_prev: &Config,
+        u: NodeId,
+    ) -> Option<Value> {
+        match ball_idx[u.index()] {
+            usize::MAX => Some(sigma_prev.get(u)),
+            k => vals[k],
+        }
+    }
+    // factors touching the ball, each visited once
+    let mut touching: Vec<usize> = ball
+        .iter()
+        .flat_map(|&u| model.factors_touching(u).iter().copied())
+        .collect();
+    touching.sort_unstable();
+    touching.dedup();
+    // upfront feasibility: every fully determined factor positive (the
+    // reference checks all fully pinned factors globally; away from the
+    // ball they evaluate on the feasible path state and pass)
+    for &fi in &touching {
+        let f = &model.factors()[fi];
+        if let Some(w) = f.eval_partial(|s| val_at(&vals, ball_idx, sigma_prev, s)) {
+            if w <= 0.0 {
+                return None;
+            }
+        }
+    }
+    // greedy extension of the unscanned ball nodes in increasing id
+    // order — the reference's free_nodes() scan order. A candidate is
+    // accepted iff every factor it completes is positive; factors not
+    // touching the node are unchanged and were verified positive when
+    // they completed, so this equals the reference's global check.
+    let mut free: Vec<NodeId> = ball
+        .iter()
+        .copied()
+        .filter(|&u| pos[u.index()] > i)
+        .collect();
+    free.sort_unstable();
+    for u in free {
+        let k = ball_idx[u.index()];
+        let mut placed = false;
+        for c in (0..q).map(Value::from_index) {
+            vals[k] = Some(c);
+            let ok = model.factors_touching(u).iter().all(|&fi| {
+                match model.factors()[fi].eval_partial(|s| val_at(&vals, ball_idx, sigma_prev, s)) {
+                    Some(w) => w > 0.0,
+                    None => true,
+                }
+            });
+            if ok {
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(
+        vals.into_iter()
+            .map(|v| v.expect("ball fully repaired"))
+            .collect(),
+    )
 }
 
 impl<O: MultiplicativeInference + Sync> ScanKernel for RejectKernel<O> {
@@ -643,6 +850,36 @@ impl<O: MultiplicativeInference + Sync> ScanKernel for RejectKernel<O> {
         for &(u, val) in &effect.writes {
             state.set(u, val);
         }
+    }
+
+    /// Halo restriction of the configuration path: only the halo slots
+    /// carry path state — [`RejectKernel::step`] never reads past them —
+    /// so the copy is `O(|halo|)`. The buffer keeps full length (the
+    /// step indexes by global id); out-of-halo slots are dead storage.
+    fn project(&self, state: &Config, halo: &[NodeId]) -> Config {
+        let mut p = Config::constant(state.len(), Value(0));
+        for &u in halo {
+            p.set(u, state.get(u));
+        }
+        p
+    }
+
+    fn project_into(
+        &self,
+        state: &Config,
+        halo: &[NodeId],
+        scratch: &mut Config,
+        _stale: &[NodeId],
+    ) {
+        // stale slots need no erasing: out-of-halo slots of a full-length
+        // buffer are never read by the halo-local step
+        for &u in halo {
+            scratch.set(u, state.get(u));
+        }
+    }
+
+    fn projected_bytes(&self, _n: usize, halo: usize) -> u64 {
+        (halo * core::mem::size_of::<Value>()) as u64
     }
 
     fn finish(

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use lds_gibbs::{distribution, PartialConfig, Value};
 use lds_graph::NodeId;
 use lds_localnet::local::LocalRun;
-use lds_localnet::scheduler::{self, ChromaticSchedule};
+use lds_localnet::scheduler::{self, ChromaticSchedule, ShardingStats};
 use lds_localnet::slocal::{self, SlocalAlgorithm, SlocalKernel, SlocalRun};
 use lds_localnet::Network;
 use lds_oracle::InferenceOracle;
@@ -111,6 +111,8 @@ pub struct ApproxSampleTimings {
     pub schedule: Duration,
     /// The chain-rule sampling scan.
     pub scan: Duration,
+    /// Halo/bytes-cloned telemetry of the chromatic scan.
+    pub sharding: ShardingStats,
 }
 
 /// [`sample_local`] with same-color clusters simulated concurrently on
@@ -130,7 +132,8 @@ pub fn sample_local_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
     let schedule = scheduler::chromatic_schedule(net, sampler.locality(n), stream);
     let schedule_wall = start.elapsed();
     let start = Instant::now();
-    let run = scheduler::run_kernel_chromatic(net, &sampler, &schedule, pool);
+    let (run, sharding) =
+        scheduler::run_kernel_chromatic_with_stats(net, &sampler, &schedule, pool);
     let scan_wall = start.elapsed();
     let failures: Vec<bool> = (0..n)
         .map(|v| run.failures[v] || schedule.failed[v])
@@ -145,6 +148,7 @@ pub fn sample_local_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
         ApproxSampleTimings {
             schedule: schedule_wall,
             scan: scan_wall,
+            sharding,
         },
     )
 }

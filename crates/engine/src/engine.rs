@@ -658,7 +658,7 @@ impl EngineCore {
         let start = Instant::now();
         let model = self.instance.model();
         let handle = self.oracle_handle();
-        let (output, succeeded, rounds, stats, phases) = match task {
+        let (output, succeeded, rounds, stats, phases, sharding) = match task {
             Task::SampleExact => {
                 let net = Network::from_shared(Arc::clone(&self.instance), seed);
                 let (run, _schedule, stats, timings) =
@@ -677,6 +677,7 @@ impl EngineCore {
                     run.rounds,
                     Some(stats),
                     phases,
+                    Some(timings.passes.sharding),
                 )
             }
             Task::SampleApprox => {
@@ -695,6 +696,7 @@ impl EngineCore {
                     run.rounds,
                     None,
                     phases,
+                    Some(timings.sharding),
                 )
             }
             Task::Infer { vertex, value } => {
@@ -729,6 +731,7 @@ impl EngineCore {
                     rounds,
                     None,
                     vec![Phase::new("oracle", start.elapsed(), rounds)],
+                    None,
                 )
             }
             Task::Count => {
@@ -749,6 +752,7 @@ impl EngineCore {
                     rounds,
                     None,
                     vec![Phase::new("count", start.elapsed(), rounds)],
+                    None,
                 )
             }
         };
@@ -763,6 +767,7 @@ impl EngineCore {
             stats,
             wall_time: start.elapsed(),
             phases,
+            sharding,
         })
     }
 

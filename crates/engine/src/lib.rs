@@ -74,5 +74,5 @@ pub use engine::{Engine, EngineBuilder};
 pub use error::EngineError;
 pub use lds_core::sampling_to_inference::SampledMarginals;
 pub use oracle::{BoostedEnumeration, TaskOracle};
-pub use report::{RunReport, SampleDecode, Task, TaskOutput};
+pub use report::{RunReport, SampleDecode, ShardingStats, Task, TaskOutput};
 pub use spec::{ModelSpec, Topology};

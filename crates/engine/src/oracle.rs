@@ -48,6 +48,18 @@ pub trait TaskOracle {
         v: NodeId,
         eps: f64,
     ) -> Vec<f64>;
+
+    /// Support of the multiplicative estimate (see
+    /// [`MultiplicativeInference::support_mul`]); forwarded so oracles
+    /// with a cheap certified positivity test keep it behind the
+    /// object-safe interface.
+    fn support_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<bool>;
 }
 
 impl<O: InferenceOracle + MultiplicativeInference> TaskOracle for O {
@@ -81,6 +93,16 @@ impl<O: InferenceOracle + MultiplicativeInference> TaskOracle for O {
         eps: f64,
     ) -> Vec<f64> {
         MultiplicativeInference::marginal_mul(self, model, pinning, v, eps)
+    }
+
+    fn support_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<bool> {
+        MultiplicativeInference::support_mul(self, model, pinning, v, eps)
     }
 }
 
@@ -132,6 +154,16 @@ impl MultiplicativeInference for OracleHandle {
         eps: f64,
     ) -> Vec<f64> {
         self.0.marginal_mul(model, pinning, v, eps)
+    }
+
+    fn support_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<bool> {
+        self.0.support_mul(model, pinning, v, eps)
     }
 }
 

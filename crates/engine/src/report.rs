@@ -5,6 +5,7 @@ use std::time::Duration;
 use lds_core::jvv::JvvStats;
 use lds_gibbs::{Config, Value};
 use lds_graph::{EdgeId, HyperEdgeId, NodeId};
+pub use lds_localnet::scheduler::ShardingStats;
 pub use lds_runtime::Phase;
 
 /// One request against a built [`crate::Engine`].
@@ -102,6 +103,11 @@ pub struct RunReport {
     /// rounds sum to [`RunReport::rounds`]; the phase wall times are
     /// bounded by [`RunReport::wall_time`].
     pub phases: Vec<Phase>,
+    /// Halo-sharding telemetry of the chromatic cluster simulation
+    /// (sampling tasks only; `None` for inference/counting). At pool
+    /// width 1 the scheduler takes the sequential path and the stats
+    /// are all zero — nothing is shipped anywhere.
+    pub sharding: Option<ShardingStats>,
 }
 
 impl RunReport {

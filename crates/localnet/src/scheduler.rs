@@ -27,9 +27,9 @@
 //! independent of the algorithm's own randomness — as required by the
 //! proof of Proposition 4.3.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use lds_graph::{power, NodeId};
+use lds_graph::{power, traversal, Graph, NodeId};
 use lds_runtime::{streams, StreamRng, ThreadPool};
 
 use crate::decomposition::{linial_saks, DecompositionParams, NetworkDecomposition, UNCLUSTERED};
@@ -49,7 +49,9 @@ pub struct ChromaticSchedule {
     /// color clusters are at pairwise distance `> r + 1` in `G`, so they
     /// may be simulated concurrently; flattening this nesting and
     /// appending [`ChromaticSchedule::tail`] reproduces `order` exactly.
-    pub color_clusters: Vec<Vec<Vec<NodeId>>>,
+    /// Shared (`Arc`) so the runner can ship member lists to pool
+    /// workers without cloning them every color round.
+    pub color_clusters: Arc<Vec<Vec<Vec<NodeId>>>>,
     /// Unclustered (failed) nodes, processed sequentially after all
     /// colors — the tail of `order`.
     pub tail: Vec<NodeId>,
@@ -61,8 +63,100 @@ pub struct ChromaticSchedule {
     pub colors: usize,
     /// Largest weak radius of a cluster, measured in `G`.
     pub max_weak_radius: usize,
+    /// The locality `r` the schedule was built for, after the diameter
+    /// cap — the halo radius of the sharded simulation.
+    pub locality: usize,
     /// The decomposition itself (on `G^{r+1}`).
     pub decomposition: NetworkDecomposition,
+    /// Lazily computed per-cluster halos (see
+    /// [`ChromaticSchedule::halos`]); parallel to `color_clusters`.
+    halos: OnceLock<Vec<Vec<Vec<NodeId>>>>,
+}
+
+impl ChromaticSchedule {
+    /// Per-cluster halos, parallel to
+    /// [`ChromaticSchedule::color_clusters`]: `halos()[c][i]` is
+    /// `B_r(C)` for cluster `i` of color `c` — the cluster's members
+    /// plus their radius-`r` boundary (`r` = [`ChromaticSchedule::locality`]),
+    /// in increasing id order. This is exactly the state region a
+    /// locality-`r` kernel can read or write while scanning the
+    /// cluster, so the sharded runner ships only these slots.
+    ///
+    /// Computed once per schedule on first use (the width-1 sequential
+    /// path never pays for it) and reused across colors **and** across
+    /// passes sharing the schedule (local-JVV runs all three passes on
+    /// one schedule). `g` must be the carrier graph the schedule was
+    /// built on — later calls return the memoized halos, so a
+    /// different graph would silently be ignored.
+    pub fn halos(&self, g: &Graph) -> &[Vec<Vec<NodeId>>] {
+        debug_assert_eq!(
+            g.node_count(),
+            self.order.len(),
+            "halos requested for a graph the schedule was not built on"
+        );
+        self.halos.get_or_init(|| {
+            self.color_clusters
+                .iter()
+                .map(|clusters| {
+                    clusters
+                        .iter()
+                        .map(|cluster| traversal::multi_source_ball(g, cluster, self.locality))
+                        .collect()
+                })
+                .collect()
+        })
+    }
+}
+
+/// Telemetry of one sharded kernel execution: how much scan state the
+/// chromatic runner actually shipped to workers, against the halo
+/// bound. `bytes_cloned ≤ halo_bytes_bound` if and only if every
+/// projected cluster copied `O(|halo|)` slots — the CI telemetry gate
+/// that keeps the full-clone path from silently coming back.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardingStats {
+    /// Clusters simulated through a halo projection (parallel fan-out).
+    pub projected_clusters: usize,
+    /// Clusters scanned inline on the global state (single-cluster
+    /// colors — no snapshot, no projection).
+    pub inline_clusters: usize,
+    /// Sum of halo sizes over the projected clusters.
+    pub halo_sum: usize,
+    /// Largest halo among the projected clusters.
+    pub max_halo: usize,
+    /// Bytes of scan state copied into worker payloads
+    /// ([`ScanKernel::projected_bytes`] summed over projections).
+    pub bytes_cloned: u64,
+    /// What a perfect halo restriction would have copied: the same
+    /// accounting evaluated at `n = |halo|`.
+    pub halo_bytes_bound: u64,
+}
+
+impl ShardingStats {
+    /// Accumulates another execution's stats (e.g. across the three
+    /// local-JVV passes sharing one schedule).
+    pub fn merge(&mut self, other: &ShardingStats) {
+        self.projected_clusters += other.projected_clusters;
+        self.inline_clusters += other.inline_clusters;
+        self.halo_sum += other.halo_sum;
+        self.max_halo = self.max_halo.max(other.max_halo);
+        self.bytes_cloned += other.bytes_cloned;
+        self.halo_bytes_bound += other.halo_bytes_bound;
+    }
+
+    /// Mean halo size over projected clusters (0 when none).
+    pub fn mean_halo(&self) -> f64 {
+        if self.projected_clusters == 0 {
+            0.0
+        } else {
+            self.halo_sum as f64 / self.projected_clusters as f64
+        }
+    }
+
+    /// `true` when every projection stayed within the halo bound.
+    pub fn within_halo_bound(&self) -> bool {
+        self.bytes_cloned <= self.halo_bytes_bound
+    }
 }
 
 /// Computes the chromatic schedule for locality `r` on the network's
@@ -89,8 +183,12 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
         .rng();
     let decomposition = linial_saks(&h, DecompositionParams::for_size(n), &mut rng);
 
-    // Group clusters by (color, cluster id); members sorted by id.
-    let members = decomposition.members();
+    // Group clusters by (color, cluster id); members sorted by id. One
+    // pass over the clusters builds both the nested parallel form and
+    // the flattened ordering: each member list is moved (not cloned)
+    // into its color slot, and `order` grows alongside instead of being
+    // re-derived by flattening afterwards.
+    let mut members = decomposition.members();
     let mut cluster_ids: Vec<usize> = (0..members.len())
         .filter(|&cid| !members[cid].is_empty())
         .collect();
@@ -102,10 +200,12 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
         (color, cid)
     });
     let mut color_clusters: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); decomposition.colors];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
     for &cid in &cluster_ids {
-        let mut m = members[cid].clone();
+        let mut m = std::mem::take(&mut members[cid]);
         m.sort_unstable();
         let color = decomposition.color[m[0].index()] as usize;
+        order.extend_from_slice(&m);
         color_clusters[color].push(m);
     }
     // failed nodes last (they output defaults and carry F″ = 1)
@@ -113,13 +213,7 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
         .filter(|&v| decomposition.failed[v])
         .map(NodeId::from_index)
         .collect();
-    let order: Vec<NodeId> = color_clusters
-        .iter()
-        .flatten()
-        .flatten()
-        .chain(tail.iter())
-        .copied()
-        .collect();
+    order.extend_from_slice(&tail);
     debug_assert_eq!(order.len(), n);
 
     // Round cost: per color, gather cluster + halo and disseminate.
@@ -135,11 +229,18 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
         colors: decomposition.colors,
         max_weak_radius: decomposition.max_weak_radius(g),
         order,
-        color_clusters,
+        color_clusters: Arc::new(color_clusters),
         tail,
+        locality,
         decomposition,
+        halos: OnceLock::new(),
     }
 }
+
+/// Per-color fan-out results: each cluster's reusable projection buffer
+/// coming back from its worker, plus the cluster's effects in scan
+/// order.
+type ClusterRuns<S, E> = Vec<(S, Vec<(NodeId, E)>)>;
 
 /// Runs any [`ScanKernel`] under the chromatic schedule with same-color
 /// clusters simulated **concurrently** on the pool — the literal
@@ -150,15 +251,24 @@ pub fn chromatic_schedule(net: &Network, locality: usize, stream: u64) -> Chroma
 /// (`local-JVV`'s rejection pass) implement `ScanKernel` directly.
 ///
 /// Colors are processed in order; within a color every cluster scans its
-/// members sequentially against a snapshot of the scan state accumulated
-/// through the previous colors, and the per-node effects are replayed
-/// onto the global state **in cluster order** — the order the sequential
-/// scan uses. Same-color clusters are at pairwise distance `> r + 1`,
-/// so (under the kernel's locality contract) no cluster can observe
-/// another's state mutations, and the merged result is **bit-identical**
-/// to [`crate::slocal::run_scan_sequential`] on `schedule.order` — at
-/// any pool width. Unclustered (failed) nodes are processed sequentially
-/// at the end, exactly as in the sequential scan.
+/// members sequentially against a **halo projection** of the scan state
+/// accumulated through the previous colors — the cluster's members plus
+/// their radius-`r` boundary ([`ChromaticSchedule::halos`]), which is
+/// exactly what the paper's cluster leader gathers — and the per-node
+/// effects are replayed onto the global state **in cluster order**, the
+/// order the sequential scan uses. Same-color clusters are at pairwise
+/// distance `> r + 1`, so (under the kernel's locality contract) no
+/// cluster can read past its own halo, and the merged result is
+/// **bit-identical** to [`crate::slocal::run_scan_sequential`] on
+/// `schedule.order` — at any pool width. Unclustered (failed) nodes are
+/// processed sequentially at the end, exactly as in the sequential scan.
+///
+/// No full-state snapshot is ever cloned: the caller builds one
+/// `O(|halo|)` projection per cluster ([`ScanKernel::project`]) into
+/// arena-recycled buffers, workers take their payload through a shared
+/// slot (the `par_map` items are bare indices), and buffers come back
+/// for the next color — so steady-state per-round copying is the halo
+/// sum, not `n · #clusters`. [`ShardingStats`] reports what was shipped.
 ///
 /// The kernel ships to the pool's workers as part of a `'static` job, so
 /// it must own its context (`Clone + Send + Sync + 'static`) — oracles
@@ -172,18 +282,138 @@ pub fn run_kernel_chromatic<K>(
 where
     K: ScanKernel + Clone + Send + Sync + 'static,
 {
+    run_kernel_chromatic_with_stats(net, kernel, schedule, pool).0
+}
+
+/// [`run_kernel_chromatic`] returning the sharding telemetry alongside
+/// the run result.
+pub fn run_kernel_chromatic_with_stats<K>(
+    net: &Network,
+    kernel: &K,
+    schedule: &ChromaticSchedule,
+    pool: &ThreadPool,
+) -> (K::Run, ShardingStats)
+where
+    K: ScanKernel + Clone + Send + Sync + 'static,
+{
+    let mut stats = ShardingStats::default();
     if pool.is_sequential() {
         // the sequential scan is the same execution without the
-        // per-cluster state snapshots — one state for the whole schedule
-        // instead of one clone per cluster
+        // per-cluster projections — one state for the whole schedule
+        return (
+            crate::slocal::run_scan_sequential(net, kernel, &schedule.order),
+            stats,
+        );
+    }
+    let n = net.node_count();
+    let halos = schedule.halos(net.instance().model().graph());
+    let mut state = kernel.init(net);
+    let mut effects: Vec<(NodeId, K::Effect)> = Vec::new();
+    // Scratch arena: projections come back from the workers with their
+    // run's effects and are re-projected next color, so buffer
+    // allocations are paid once per lane, not once per cluster-round.
+    // Each entry remembers which halo it was last projected for (as
+    // `(color, cluster)` indices into `halos`) so the kernel can erase
+    // exactly the stale slots.
+    let mut arena: Vec<(K::State, (usize, usize))> = Vec::new();
+    for (color, clusters) in schedule.color_clusters.iter().enumerate() {
+        if let [cluster] = clusters.as_slice() {
+            // a single cluster this color: scan it inline on the global
+            // state — same execution, no projection, no fan-out
+            stats.inline_clusters += 1;
+            for &v in cluster {
+                if let Some(e) = kernel.process(net, &mut state, v) {
+                    effects.push((v, e));
+                }
+            }
+            continue;
+        }
+        if clusters.is_empty() {
+            continue;
+        }
+        // project on the caller's thread (the only reader of `state`);
+        // workers receive owned payloads through take-once slots
+        let mut slots: Vec<Mutex<Option<K::State>>> = Vec::with_capacity(clusters.len());
+        for ci in 0..clusters.len() {
+            let halo = &halos[color][ci];
+            let projected = match arena.pop() {
+                Some((mut scratch, (pc, pi))) => {
+                    kernel.project_into(&state, halo, &mut scratch, &halos[pc][pi]);
+                    scratch
+                }
+                None => kernel.project(&state, halo),
+            };
+            stats.projected_clusters += 1;
+            stats.halo_sum += halo.len();
+            stats.max_halo = stats.max_halo.max(halo.len());
+            stats.bytes_cloned += kernel.projected_bytes(n, halo.len());
+            stats.halo_bytes_bound += kernel.projected_bytes(halo.len(), halo.len());
+            slots.push(Mutex::new(Some(projected)));
+        }
+        let slots = Arc::new(slots);
+        let indices: Vec<usize> = (0..clusters.len()).collect();
+        let runs: ClusterRuns<K::State, K::Effect> = pool.par_map(&indices, {
+            let net = net.clone();
+            let kernel = kernel.clone();
+            let clusters = Arc::clone(&schedule.color_clusters);
+            let slots = Arc::clone(&slots);
+            move |&ci| {
+                let mut local = slots[ci]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let cluster = &clusters[color][ci];
+                let mut out = Vec::with_capacity(cluster.len());
+                for &v in cluster {
+                    if let Some(e) = kernel.process(&net, &mut local, v) {
+                        out.push((v, e));
+                    }
+                }
+                (local, out)
+            }
+        });
+        // replay in cluster order — the order the sequential scan uses —
+        // and return the buffers to the arena for the next color
+        for (ci, (scratch, cluster_out)) in runs.into_iter().enumerate() {
+            arena.push((scratch, (color, ci)));
+            for (v, e) in cluster_out {
+                kernel.apply(&mut state, v, &e);
+                effects.push((v, e));
+            }
+        }
+    }
+    for &v in &schedule.tail {
+        if let Some(e) = kernel.process(net, &mut state, v) {
+            effects.push((v, e));
+        }
+    }
+    (kernel.finish(net, state, effects), stats)
+}
+
+/// The **frozen pre-sharding** chromatic runner: full-state snapshot per
+/// color (`Arc<state.clone()>`), a second full clone per cluster, no
+/// projections. Kept verbatim as the reference implementation the halo
+/// equivalence proptest (`tests/halo_sharding.rs`) compares
+/// [`run_kernel_chromatic`] against, bit for bit. Not part of any
+/// serving path.
+#[doc(hidden)]
+pub fn run_kernel_chromatic_reference<K>(
+    net: &Network,
+    kernel: &K,
+    schedule: &ChromaticSchedule,
+    pool: &ThreadPool,
+) -> K::Run
+where
+    K: ScanKernel + Clone + Send + Sync + 'static,
+{
+    if pool.is_sequential() {
         return crate::slocal::run_scan_sequential(net, kernel, &schedule.order);
     }
     let mut state = kernel.init(net);
     let mut effects: Vec<(NodeId, K::Effect)> = Vec::new();
-    for clusters in &schedule.color_clusters {
+    for clusters in schedule.color_clusters.iter() {
         if let [cluster] = clusters.as_slice() {
-            // a single cluster this color: scan it inline on the global
-            // state — same execution, no snapshot clone, no fan-out
             for &v in cluster {
                 if let Some(e) = kernel.process(net, &mut state, v) {
                     effects.push((v, e));
@@ -206,7 +436,6 @@ where
                 out
             }
         });
-        // replay in cluster order — the order the sequential scan uses
         for cluster_out in runs {
             for (v, e) in cluster_out {
                 kernel.apply(&mut state, v, &e);

@@ -127,6 +127,56 @@ pub trait ScanKernel: Sync {
     /// `effect` onto another state.
     fn apply(&self, state: &mut Self::State, v: NodeId, effect: &Self::Effect);
 
+    /// Restricts the scan state to a cluster's halo (the cluster's
+    /// members plus their radius-`r` boundary, `r` the schedule
+    /// locality): the returned state must make `process` behave
+    /// **bit-identically** for any node whose state reads stay inside
+    /// `halo`, and processing such nodes must confine its state writes
+    /// to `halo` as well. The chromatic runner ships one projection per
+    /// concurrent cluster instead of a full snapshot clone.
+    ///
+    /// The default is a full copy — correct for every kernel, so
+    /// existing kernels keep compiling; kernels on the hot path override
+    /// it (and [`ScanKernel::projected_bytes`]) with a real restriction
+    /// so the per-cluster payload is `O(|halo|)`, not `O(n)`.
+    fn project(&self, state: &Self::State, halo: &[NodeId]) -> Self::State {
+        let _ = halo;
+        state.clone()
+    }
+
+    /// [`ScanKernel::project`] into a reusable scratch state — the
+    /// arena path that amortizes per-round allocations across colors.
+    ///
+    /// Contract: `scratch` was produced by a previous
+    /// `project`/`project_into` of **this kernel** for the halo `stale`
+    /// and then mutated only inside `stale` (the write half of the
+    /// `project` contract). The implementation must erase the stale
+    /// slots before (or by) filling the new halo. The default discards
+    /// the scratch and allocates a fresh projection.
+    fn project_into(
+        &self,
+        state: &Self::State,
+        halo: &[NodeId],
+        scratch: &mut Self::State,
+        stale: &[NodeId],
+    ) {
+        let _ = stale;
+        *scratch = self.project(state, halo);
+    }
+
+    /// Telemetry: approximate bytes of scan state copied when shipping
+    /// one cluster's projection, on an `n`-node instance with a
+    /// `halo`-node halo. Must mirror [`ScanKernel::project`]: the
+    /// default full copy accounts the whole dense state; a real
+    /// restriction accounts only the halo slots. The runner sums this
+    /// into [`crate::scheduler::ShardingStats`] and CI gates the sum
+    /// against the halo bound, so a kernel silently falling back to
+    /// full copies is caught.
+    fn projected_bytes(&self, n: usize, halo: usize) -> u64 {
+        let _ = halo;
+        (n * core::mem::size_of::<usize>()) as u64
+    }
+
     /// Folds the final state and the effects (in schedule order) into
     /// the run result.
     fn finish(
@@ -166,6 +216,44 @@ impl<K: SlocalKernel + ?Sized> ScanKernel for K {
 
     fn apply(&self, state: &mut PartialConfig, v: NodeId, &(val, _): &(Value, bool)) {
         state.pin(v, val);
+    }
+
+    /// Halo restriction of a pinning state: only the halo's pins are
+    /// copied. Sound because a pinning-extension kernel reads pins
+    /// within its locality of the processed node and pins only the node
+    /// itself — both inside the halo by the schedule's construction.
+    fn project(&self, state: &PartialConfig, halo: &[NodeId]) -> PartialConfig {
+        let mut p = PartialConfig::empty(state.len());
+        for &v in halo {
+            if let Some(val) = state.get(v) {
+                p.pin(v, val);
+            }
+        }
+        p
+    }
+
+    fn project_into(
+        &self,
+        state: &PartialConfig,
+        halo: &[NodeId],
+        scratch: &mut PartialConfig,
+        stale: &[NodeId],
+    ) {
+        // every pin in the scratch — projected halo pins and the pins
+        // made while processing its cluster — lies inside the stale halo
+        for &v in stale {
+            scratch.unpin(v);
+        }
+        debug_assert_eq!(scratch.pinned_count(), 0, "scratch escaped its stale halo");
+        for &v in halo {
+            if let Some(val) = state.get(v) {
+                scratch.pin(v, val);
+            }
+        }
+    }
+
+    fn projected_bytes(&self, _n: usize, halo: usize) -> u64 {
+        (halo * core::mem::size_of::<Option<Value>>()) as u64
     }
 
     fn finish(

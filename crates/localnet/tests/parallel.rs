@@ -106,7 +106,7 @@ proptest! {
             .collect();
         prop_assert_eq!(&flat, &s.order);
         let r_eff = r.min((traversal::diameter(&g) as usize).max(1));
-        for clusters in &s.color_clusters {
+        for clusters in s.color_clusters.iter() {
             for (i, a) in clusters.iter().enumerate() {
                 for b in clusters.iter().skip(i + 1) {
                     for &u in a {

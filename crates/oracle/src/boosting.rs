@@ -45,6 +45,27 @@ pub trait MultiplicativeInference {
         v: NodeId,
         eps: f64,
     ) -> Vec<f64>;
+
+    /// The *support* of the estimate: `support_mul(..)[c]` is `true`
+    /// iff `marginal_mul(..)[c] > 0`. By the multiplicative guarantee a
+    /// positive estimate implies positive truth, so this is all the
+    /// ground-state pass of `local-JVV` needs — and deciding positivity
+    /// is often far cheaper than computing the magnitude (a truncated
+    /// SAW tree certifies zeros at pinned neighbors after one level).
+    /// The default computes the full marginal; oracles with certified
+    /// bounds override it with an early-out.
+    fn support_mul(
+        &self,
+        model: &GibbsModel,
+        pinning: &PartialConfig,
+        v: NodeId,
+        eps: f64,
+    ) -> Vec<bool> {
+        self.marginal_mul(model, pinning, v, eps)
+            .into_iter()
+            .map(|p| p > 0.0)
+            .collect()
+    }
 }
 
 /// The boosted oracle `A^×_ε` built from an additive-error base oracle

@@ -30,7 +30,12 @@ pub(crate) struct Group<T> {
 /// `(task, seed)` requests, preserving first-arrival order at both
 /// levels (so dispatch order — and therefore server behavior — is a
 /// deterministic function of arrival order, not of hash iteration).
-pub(crate) fn coalesce<T>(batch: Vec<T>, key: impl Fn(&T) -> (Task, u64)) -> Vec<Group<T>> {
+/// Takes any iterator so a worker session can `drain(..)` its reusable
+/// batch buffer instead of allocating a fresh `Vec` per window.
+pub(crate) fn coalesce<T>(
+    batch: impl IntoIterator<Item = T>,
+    key: impl Fn(&T) -> (Task, u64),
+) -> Vec<Group<T>> {
     let mut groups: Vec<Group<T>> = Vec::new();
     for item in batch {
         let (task, seed) = key(&item);

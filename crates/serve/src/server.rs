@@ -211,42 +211,54 @@ impl Shared {
     }
 
     /// Dispatches one drained batch: coalesce, resolve against the
-    /// ledger, run what remains, publish and answer.
-    fn dispatch(self: &Arc<Self>, batch: Vec<Pending>) {
+    /// ledger, run what remains, publish and answer. Drains the
+    /// caller's buffer in place so worker sessions reuse one batch
+    /// allocation across coalescing windows.
+    fn dispatch(self: &Arc<Self>, batch: &mut Vec<Pending>) {
         Counters::bump(&self.counters.batches, 1);
         Counters::bump(&self.counters.batched_requests, batch.len() as u64);
         let fingerprint = self.engine.fingerprint();
-        for group in coalesce(batch, |p| (p.task, p.seed)) {
+        for group in coalesce(batch.drain(..), |p| (p.task, p.seed)) {
             let task = group.task;
             // phase 1 — resolve each unique seed against the ledger:
             // answer from cache, piggyback on an identical in-flight
-            // execution, or claim it for execution here
+            // execution, or claim it for execution here. One ledger
+            // lock covers the whole group (one pass per group, not per
+            // request); replies go out after the lock drops.
             let mut to_run: Vec<(u64, Vec<Pending>)> = Vec::new();
-            for (seed, waiters) in group.entries {
-                let key = IdempotencyKey {
-                    fingerprint,
-                    task,
-                    seed,
-                };
+            let mut cached: Vec<(Pending, RunReport)> = Vec::new();
+            let (mut hits, mut misses) = (0u64, 0u64);
+            {
                 let mut ledger = self.ledger.lock().expect("ledger poisoned");
-                if let Some(report) = ledger.cache.get(&key).cloned() {
-                    drop(ledger);
-                    Counters::bump(&self.counters.cache_hits, waiters.len() as u64);
-                    for w in waiters {
-                        self.respond(w, Ok(report.clone()));
+                for (seed, waiters) in group.entries {
+                    let key = IdempotencyKey {
+                        fingerprint,
+                        task,
+                        seed,
+                    };
+                    if let Some(report) = ledger.cache.get(&key).cloned() {
+                        hits += waiters.len() as u64;
+                        for w in waiters {
+                            cached.push((w, report.clone()));
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                Counters::bump(&self.counters.cache_misses, waiters.len() as u64);
-                match ledger.inflight.get_mut(&key) {
-                    // another worker owns this key: every waiter rides
-                    // along and will be answered by that owner
-                    Some(riders) => riders.extend(waiters),
-                    None => {
-                        ledger.inflight.insert(key, Vec::new());
-                        to_run.push((seed, waiters));
+                    misses += waiters.len() as u64;
+                    match ledger.inflight.get_mut(&key) {
+                        // another worker owns this key: every waiter
+                        // rides along and is answered by that owner
+                        Some(riders) => riders.extend(waiters),
+                        None => {
+                            ledger.inflight.insert(key, Vec::new());
+                            to_run.push((seed, waiters));
+                        }
                     }
                 }
+            }
+            Counters::bump(&self.counters.cache_hits, hits);
+            Counters::bump(&self.counters.cache_misses, misses);
+            for (w, report) in cached {
+                self.respond(w, Ok(report));
             }
             if to_run.is_empty() {
                 continue;
@@ -270,20 +282,27 @@ impl Shared {
                     Err(_panic) => Err(ServeError::Cancelled),
                 };
             // phase 3 — publish to the cache and answer every waiter,
-            // including riders that attached while we were running
+            // including riders that attached while we were running.
+            // One ledger lock publishes (or releases) the whole group;
+            // responses again happen outside the lock.
             match outcome {
                 Ok(reports) => {
-                    for ((seed, waiters), report) in to_run.into_iter().zip(reports) {
-                        let key = IdempotencyKey {
-                            fingerprint,
-                            task,
-                            seed,
-                        };
-                        let riders = {
-                            let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                    let mut answered: Vec<(Vec<Pending>, Vec<Pending>, RunReport)> =
+                        Vec::with_capacity(reports.len());
+                    {
+                        let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                        for ((seed, waiters), report) in to_run.into_iter().zip(reports) {
+                            let key = IdempotencyKey {
+                                fingerprint,
+                                task,
+                                seed,
+                            };
                             ledger.cache.insert(key, report.clone());
-                            ledger.inflight.remove(&key).unwrap_or_default()
-                        };
+                            let riders = ledger.inflight.remove(&key).unwrap_or_default();
+                            answered.push((waiters, riders, report));
+                        }
+                    }
+                    for (waiters, riders, report) in answered {
                         for w in waiters.into_iter().chain(riders) {
                             self.respond(w, Ok(report.clone()));
                         }
@@ -293,16 +312,21 @@ impl Shared {
                     // the execution fails (or panics) as a unit: every
                     // claimed seed of this group gets the error and its
                     // inflight claim is released; nothing is cached
-                    for (seed, waiters) in to_run {
-                        let key = IdempotencyKey {
-                            fingerprint,
-                            task,
-                            seed,
-                        };
-                        let riders = {
-                            let mut ledger = self.ledger.lock().expect("ledger poisoned");
-                            ledger.inflight.remove(&key).unwrap_or_default()
-                        };
+                    let mut answered: Vec<(Vec<Pending>, Vec<Pending>)> =
+                        Vec::with_capacity(to_run.len());
+                    {
+                        let mut ledger = self.ledger.lock().expect("ledger poisoned");
+                        for (seed, waiters) in to_run {
+                            let key = IdempotencyKey {
+                                fingerprint,
+                                task,
+                                seed,
+                            };
+                            let riders = ledger.inflight.remove(&key).unwrap_or_default();
+                            answered.push((waiters, riders));
+                        }
+                    }
+                    for (waiters, riders) in answered {
                         for w in waiters.into_iter().chain(riders) {
                             self.respond(w, Err(err.clone()));
                         }
@@ -319,8 +343,11 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
     let window = shared.config.coalesce_window;
     let max_batch = shared.config.max_batch.max(1);
+    // one batch buffer per session, reused across windows — dispatch
+    // drains it in place instead of taking a fresh allocation each time
+    let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
     while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
+        batch.push(first);
         if window.is_zero() {
             while batch.len() < max_batch {
                 match rx.try_recv() {
@@ -340,7 +367,7 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
                 }
             }
         }
-        shared.dispatch(batch);
+        shared.dispatch(&mut batch);
     }
 }
 
