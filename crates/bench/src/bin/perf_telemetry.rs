@@ -27,7 +27,10 @@
 //! cost is gated (it is dispatch overhead on an inline engine, stable
 //! on any hardware); the width-4 numbers are trend telemetry — the
 //! coalescing *speedup* is hardware-dependent and shows up on runners
-//! with real cores.
+//! with real cores. A `net` section prices the out-of-process path the
+//! same way: loopback TCP round-trips against a cache-hot tenant
+//! (strict vs. pipelined ×4) plus `RunReport` codec encode/decode; only
+//! the strict round-trip (`net_roundtrip_w1_ns`) is gated.
 //!
 //! The JSON is hand-rolled (the container vendors no serde); the
 //! baseline reader scans for `"key": number` pairs regardless of
@@ -39,10 +42,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lds_bench::scoped_par_map;
-use lds_engine::{Engine, ModelSpec, Task};
+use lds_engine::{Engine, ModelSpec, RunReport, Task, Topology};
 use lds_graph::generators;
+use lds_net::{Client, EngineSpec, NetConfig, NetServer, Op, Wire};
 use lds_runtime::ThreadPool;
-use lds_serve::{Server, ServerConfig};
+use lds_serve::{RegistryConfig, Server, ServerConfig};
 
 /// Median of a sample vector (ns).
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -337,12 +341,97 @@ fn main() {
         shard_totals.halo_bytes_bound as f64 / shard_runs.max(1) as f64,
     ));
 
+    // --- net section: the out-of-process serving overhead over real
+    // loopback TCP. The repeated seed hits the tenant's idempotency
+    // cache, so the round-trip numbers measure the wire (frame + codec +
+    // session threads + dispatch), not the engine. Depth 1 is strict
+    // request/response; depth 4 keeps four requests pipelined on the
+    // connection and amortizes the syscall round-trips. The codec
+    // numbers price serializing a real RunReport. ---
+    let mut net: Vec<(String, f64)> = Vec::new();
+    {
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            NetConfig {
+                registry: RegistryConfig {
+                    server: ServerConfig {
+                        workers: 1,
+                        coalesce_window: Duration::ZERO,
+                        ..ServerConfig::default()
+                    },
+                    ..RegistryConfig::default()
+                },
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(server.local_addr()).expect("connect loopback");
+        let spec = EngineSpec::new(
+            ModelSpec::Hardcore { lambda: 1.0 },
+            Topology::Graph(generators::cycle(10)),
+        );
+        let fp = client.register(&spec).expect("register tenant");
+
+        const NET_OPS: usize = 16;
+        const PIPELINE: usize = 4;
+        let one_at_a_time = measure(samples.min(11), NET_OPS, || {
+            for _ in 0..NET_OPS {
+                std::hint::black_box(client.run(fp, Task::SampleExact, 7).unwrap());
+            }
+        });
+        let pipelined = measure(samples.min(11), NET_OPS, || {
+            for _ in 0..NET_OPS / PIPELINE {
+                for _ in 0..PIPELINE {
+                    client
+                        .send(Op::Run {
+                            fingerprint: fp,
+                            task: Task::SampleExact,
+                            seed: 7,
+                        })
+                        .unwrap();
+                }
+                for _ in 0..PIPELINE {
+                    std::hint::black_box(client.recv().unwrap());
+                }
+            }
+        });
+        net.push(("net_roundtrip_w1_ns".to_string(), one_at_a_time));
+        net.push((format!("net_roundtrip_w{PIPELINE}_ns"), pipelined));
+        net.push((
+            format!("net_pipeline_speedup_w{PIPELINE}"),
+            one_at_a_time / pipelined,
+        ));
+
+        let report = spec
+            .build()
+            .expect("in regime")
+            .run_with_seed(Task::SampleExact, 7)
+            .expect("sample");
+        let bytes = report.to_bytes();
+        const CODEC_OPS: usize = 64;
+        let encode = measure(samples, CODEC_OPS, || {
+            for _ in 0..CODEC_OPS {
+                std::hint::black_box(report.to_bytes());
+            }
+        });
+        let decode = measure(samples, CODEC_OPS, || {
+            for _ in 0..CODEC_OPS {
+                std::hint::black_box(RunReport::from_bytes(&bytes).unwrap());
+            }
+        });
+        net.push(("net_codec_encode_report_ns".to_string(), encode));
+        net.push(("net_codec_decode_report_ns".to_string(), decode));
+        net.push(("net_report_payload_bytes".to_string(), bytes.len() as f64));
+        server.shutdown();
+    }
+
     let sha = git_sha();
     // all sections flattened, for the gates below
     let all_metrics: Vec<(String, f64)> = metrics
         .iter()
         .chain(serving.iter())
         .chain(sharding.iter())
+        .chain(net.iter())
         .cloned()
         .collect();
     let json = render_json(
@@ -352,6 +441,7 @@ fn main() {
             ("metrics", &metrics[..]),
             ("serving", &serving[..]),
             ("sharding", &sharding[..]),
+            ("net", &net[..]),
         ],
     );
     std::fs::write(&out_path, &json).expect("write summary");
@@ -433,6 +523,7 @@ fn main() {
         "jvv_pass2_sample_ns",
         "jvv_pass3_reject_ns",
         "serve_coalesced_w1_ns",
+        "net_roundtrip_w1_ns",
     ];
     if let Some(path) = baseline_path {
         match std::fs::read_to_string(&path) {

@@ -120,6 +120,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the topology from an already-typed [`Topology`] value — the
+    /// hook deserialization layers (`lds-net`) use to rebuild an engine
+    /// from a decoded substrate without matching on its kind.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
     /// Sets a pinning `τ` over the **carrier** node set (for edge
     /// models: the line/intersection graph). Defaults to the empty
     /// pinning.

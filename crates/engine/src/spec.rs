@@ -132,6 +132,15 @@ pub enum Topology {
 }
 
 impl Topology {
+    /// Number of nodes of the underlying substrate (base nodes, not
+    /// carrier nodes).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Topology::Graph(g) => g.node_count(),
+            Topology::Hypergraph(h) => h.node_count(),
+        }
+    }
+
     /// The graph, if this is a graph topology.
     pub fn graph(&self) -> Option<&Graph> {
         match self {

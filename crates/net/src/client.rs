@@ -1,0 +1,224 @@
+//! A blocking protocol client.
+//!
+//! [`Client`] wraps one TCP connection. The high-level calls
+//! ([`Client::register`], [`Client::run`], …) are strict
+//! request/response; the pipelined pair ([`Client::send`] /
+//! [`Client::recv`]) lets a caller keep many requests in flight on one
+//! connection — responses arrive in request order, each echoing its
+//! request id — which is both the throughput mode and the way to
+//! observe the server's typed backpressure under flood.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use lds_engine::{RunReport, Task};
+use lds_serve::ServerStats;
+
+use crate::codec::{CodecError, Wire};
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{EngineSpec, Op, Reply, Request, Response, WireError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (includes mid-frame disconnects).
+    Io(io::Error),
+    /// A received frame violated the envelope (magic/version/length).
+    Frame(FrameError),
+    /// A received payload did not decode.
+    Codec(CodecError),
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// The server answered with the wrong reply kind for the call.
+    UnexpectedReply(String),
+    /// The response id did not match the request id (a strict
+    /// request/response call saw a pipelining mix-up).
+    IdMismatch {
+        /// The id the call sent.
+        expected: u64,
+        /// The id the response carried.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::UnexpectedReply(kind) => write!(f, "unexpected reply: {kind}"),
+            ClientError::IdMismatch { expected, got } => {
+                write!(f, "response id {got} does not answer request {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Codec(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects to a server. The resolved address is retained so
+    /// [`Client::reconnect`] can re-dial after a disconnect.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let stream = Client::dial(addr)?;
+        Ok(Client {
+            addr,
+            stream,
+            next_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    fn dial(addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Drops the current connection and dials the same address again.
+    /// In-flight pipelined requests are lost (the server side drains
+    /// them; their replies go nowhere).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Client::dial(self.addr)?;
+        Ok(())
+    }
+
+    /// The server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Overrides the frame-length cap (must match the server's to make
+    /// use of a raised server cap).
+    pub fn set_max_frame_len(&mut self, max: u32) {
+        self.max_frame_len = max;
+    }
+
+    /// Pipelined send: writes one request frame and returns its id
+    /// without waiting. Pair with [`Client::recv`].
+    pub fn send(&mut self, op: Op) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request { id, op };
+        frame::write_frame(&mut self.stream, &req.to_bytes(), self.max_frame_len)?;
+        Ok(id)
+    }
+
+    /// Pipelined receive: blocks for the next response frame.
+    /// Responses arrive in request order.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = frame::read_frame(&mut self.stream, self.max_frame_len)?;
+        Ok(Response::from_bytes(&payload)?)
+    }
+
+    /// Strict request/response: send one op, wait for its answer,
+    /// verify the id, and surface server-side errors as
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, op: Op) -> Result<Reply, ClientError> {
+        let id = self.send(op)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(ClientError::IdMismatch {
+                expected: id,
+                got: resp.id,
+            });
+        }
+        match resp.reply {
+            Reply::Error(e) => Err(ClientError::Server(e)),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Op::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Registers an engine spec and returns its fingerprint — the
+    /// routing key for [`Client::run`]. Idempotent per fingerprint.
+    pub fn register(&mut self, spec: &EngineSpec) -> Result<u64, ClientError> {
+        match self.call(Op::Register(Box::new(spec.clone())))? {
+            Reply::Registered { fingerprint } => Ok(fingerprint),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs one task on a registered engine and waits for the report.
+    pub fn run(
+        &mut self,
+        fingerprint: u64,
+        task: Task,
+        seed: u64,
+    ) -> Result<RunReport, ClientError> {
+        match self.call(Op::Run {
+            fingerprint,
+            task,
+            seed,
+        })? {
+            Reply::Report(report) => Ok(*report),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a tenant's serving statistics (`interval = true` for the
+    /// delta since the previous interval query).
+    pub fn stats(&mut self, fingerprint: u64, interval: bool) -> Result<ServerStats, ClientError> {
+        match self.call(Op::Stats {
+            fingerprint,
+            interval,
+        })? {
+            Reply::Stats(stats) => Ok(*stats),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The TCP serving front-end: sessions, backpressure, graceful drain.
+//!
+//! One `NetServer` owns a listener, an [`EngineRegistry`], and a
+//! shutdown signal. Each accepted connection becomes a **session**: a
+//! reader thread (this side of the paired threads is the session thread
+//! itself) that decodes request frames and routes them, plus a writer
+//! thread that emits responses in request order.
+//!
+//! Backpressure is layered and typed, never silent:
+//!
+//! * The **tenant queue** ([`lds_serve::Server`]'s bounded channel) is
+//!   the load-shedding point: `try_submit` on a full queue produces an
+//!   immediate [`WireError::Overloaded`] *reply* — a pipelined client
+//!   flooding one engine keeps getting answers (each one an explicit
+//!   rejection) while other connections' requests proceed.
+//! * The **session reply queue** (also bounded) caps per-connection
+//!   in-flight responses; when a client stops reading its socket, the
+//!   reader thread eventually blocks here and TCP backpressure reaches
+//!   the peer.
+//!
+//! Shutdown drains: the accept loop stops, readers exit at their next
+//! poll tick, writers finish every ticket already accepted (each
+//! `Ticket::wait` resolves — the serve layer answers or cancels every
+//! accepted request), and `shutdown()`/`Drop` joins it all before
+//! returning.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use lds_runtime::channel::{self, Receiver, Sender};
+use lds_runtime::ShutdownSignal;
+use lds_serve::{EngineRegistry, RegistryConfig, ServeError, SubmitError, Ticket};
+
+use crate::codec::{Reader, Wire};
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN, HEADER_LEN};
+use crate::proto::{Op, Reply, Request, Response, WireError};
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Cap on frame payload length, both directions
+    /// (default [`DEFAULT_MAX_FRAME_LEN`]).
+    pub max_frame_len: u32,
+    /// How often blocked reads and the accept loop re-check the
+    /// shutdown signal — the shutdown latency bound (default 20 ms).
+    pub poll_interval: Duration,
+    /// Socket write timeout; a peer that stops reading for this long
+    /// loses its connection instead of wedging a writer (default 5 s).
+    pub write_timeout: Duration,
+    /// Bound on queued-but-unwritten responses per connection
+    /// (default 64).
+    pub session_queue_capacity: usize,
+    /// The engine registry configuration (tenant capacity, per-tenant
+    /// server template).
+    pub registry: RegistryConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            poll_interval: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(5),
+            session_queue_capacity: 64,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// One unit of the per-session response pipeline, in request order.
+enum Outgoing {
+    /// Answered at decode/submit time (acks, stats, typed rejections).
+    Ready(Response),
+    /// An accepted run: the writer waits the ticket, then replies.
+    Ticket(u64, Ticket),
+}
+
+/// A TCP server speaking the `lds-net` protocol over a multi-tenant
+/// [`EngineRegistry`].
+///
+/// Binding spawns the accept loop; [`NetServer::shutdown`] (or drop)
+/// stops accepting, drains in-flight work, and joins every thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: ShutdownSignal,
+    accept: Option<JoinHandle<()>>,
+    registry: Arc<EngineRegistry>,
+}
+
+impl NetServer {
+    /// Binds a listener and starts serving. Pass port 0 to let the OS
+    /// pick; read the result back with [`NetServer::local_addr`].
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(EngineRegistry::new(config.registry.clone()));
+        let shutdown = ShutdownSignal::new();
+        let cfg = Arc::new(config);
+        let accept = {
+            let registry = Arc::clone(&registry);
+            let shutdown = shutdown.clone();
+            thread::spawn(move || accept_loop(listener, registry, cfg, shutdown))
+        };
+        Ok(NetServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            registry,
+        })
+    }
+
+    /// Binds with [`NetConfig::default`].
+    pub fn with_defaults<A: ToSocketAddrs>(addr: A) -> io::Result<NetServer> {
+        NetServer::bind(addr, NetConfig::default())
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine registry — for server-side pre-registration and
+    /// registry-level telemetry.
+    pub fn registry(&self) -> &Arc<EngineRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains every accepted request, joins every
+    /// session, and returns. Equivalent to dropping the server, as an
+    /// explicit verb.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<EngineRegistry>,
+    cfg: Arc<NetConfig>,
+    shutdown: ShutdownSignal,
+) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.is_triggered() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                sessions.retain(|h| !h.is_finished());
+                let registry = Arc::clone(&registry);
+                let cfg = Arc::clone(&cfg);
+                let shutdown = shutdown.clone();
+                sessions.push(thread::spawn(move || {
+                    session(stream, registry, cfg, shutdown)
+                }));
+            }
+            // nonblocking accept: park on the shutdown signal, which
+            // doubles as the poll tick
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.wait_timeout(cfg.poll_interval) {
+                    break;
+                }
+            }
+            // transient accept errors (per-connection resets): back off
+            // one tick and keep serving
+            Err(_) => {
+                if shutdown.wait_timeout(cfg.poll_interval) {
+                    break;
+                }
+            }
+        }
+    }
+    for handle in sessions {
+        let _ = handle.join();
+    }
+}
+
+fn session(
+    stream: TcpStream,
+    registry: Arc<EngineRegistry>,
+    cfg: Arc<NetConfig>,
+    shutdown: ShutdownSignal,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.poll_interval));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = channel::bounded::<Outgoing>(cfg.session_queue_capacity.max(1));
+    let writer = {
+        let cfg = Arc::clone(&cfg);
+        thread::spawn(move || writer_loop(stream, rx, cfg))
+    };
+    reader_loop(&mut read_half, &tx, &registry, &cfg, &shutdown);
+    // dropping the sender lets the writer drain what is queued (the
+    // channel delivers queued items after disconnect) and exit
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(
+    stream: &mut TcpStream,
+    tx: &Sender<Outgoing>,
+    registry: &EngineRegistry,
+    cfg: &NetConfig,
+    shutdown: &ShutdownSignal,
+) {
+    loop {
+        let payload = match read_frame_polled(stream, cfg.max_frame_len, shutdown) {
+            Ok(Some(payload)) => payload,
+            // clean EOF or shutdown: stop reading, let the writer drain
+            Ok(None) => return,
+            // transport failure: nothing sensible left to say
+            Err(FrameError::Io(_)) => return,
+            // protocol violation in the header (bad magic, alien
+            // version, oversized length): the stream offset can no
+            // longer be trusted, so answer once and close
+            Err(e) => {
+                let resp = Response {
+                    id: 0,
+                    reply: Reply::Error(WireError::Malformed(e.to_string())),
+                };
+                let _ = tx.send(Outgoing::Ready(resp));
+                return;
+            }
+        };
+        let request = match Request::from_bytes(&payload) {
+            Ok(request) => request,
+            // an undecodable payload inside a well-formed frame leaves
+            // the framing intact: answer (echoing the id if the prefix
+            // held one) and keep the connection
+            Err(e) => {
+                let id = Reader::new(&payload).get_u64().unwrap_or(0);
+                let resp = Response {
+                    id,
+                    reply: Reply::Error(WireError::Malformed(e.to_string())),
+                };
+                if tx.send(Outgoing::Ready(resp)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let out = dispatch(request, registry);
+        if tx.send(out).is_err() {
+            // writer gone (peer stopped reading and timed out)
+            return;
+        }
+    }
+}
+
+/// Routes one decoded request. Everything here is nonblocking except
+/// `Register`, whose engine build (regime check included) runs on the
+/// session's reader thread — one tenant's expensive registration never
+/// stalls other connections.
+fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
+    let id = request.id;
+    let reply = match request.op {
+        Op::Ping => Reply::Pong,
+        Op::Register(spec) => match spec.build() {
+            Ok(engine) => Reply::Registered {
+                fingerprint: registry.register(engine),
+            },
+            Err(e) => Reply::Error(WireError::Rejected(e.to_string())),
+        },
+        Op::Stats {
+            fingerprint,
+            interval,
+        } => {
+            let stats = if interval {
+                registry.interval_stats_of(fingerprint)
+            } else {
+                registry.stats_of(fingerprint)
+            };
+            match stats {
+                Some(s) => Reply::Stats(Box::new(s)),
+                None => Reply::Error(WireError::UnknownFingerprint(fingerprint)),
+            }
+        }
+        Op::Run {
+            fingerprint,
+            task,
+            seed,
+        } => match registry.get(fingerprint) {
+            None => Reply::Error(WireError::UnknownFingerprint(fingerprint)),
+            Some(server) => match server.try_submit(task, seed) {
+                Ok(ticket) => return Outgoing::Ticket(id, ticket),
+                Err(SubmitError::Overloaded {
+                    queue_depth,
+                    watermark,
+                }) => Reply::Error(WireError::Overloaded {
+                    queue_depth,
+                    watermark,
+                }),
+                Err(SubmitError::ShuttingDown) => Reply::Error(WireError::ShuttingDown),
+            },
+        },
+    };
+    Outgoing::Ready(Response { id, reply })
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig>) {
+    let mut peer_writable = true;
+    while let Ok(out) = rx.recv() {
+        let resp = match out {
+            Outgoing::Ready(resp) => resp,
+            Outgoing::Ticket(id, ticket) => {
+                // every accepted ticket resolves (report, error, or
+                // cancellation on serve-layer shutdown) — waiting here
+                // is what makes drain-on-shutdown complete
+                let reply = match ticket.wait() {
+                    Ok(report) => Reply::Report(Box::new(report)),
+                    Err(ServeError::Engine(e)) => Reply::Error(WireError::Engine(e.to_string())),
+                    Err(ServeError::Cancelled) => Reply::Error(WireError::Cancelled),
+                };
+                Response { id, reply }
+            }
+        };
+        if peer_writable
+            && frame::write_frame(&mut stream, &resp.to_bytes(), cfg.max_frame_len).is_err()
+        {
+            // the peer is gone or wedged past the write timeout: stop
+            // writing, but keep draining tickets so accepted work is
+            // still awaited before the session ends
+            peer_writable = false;
+        }
+    }
+}
+
+/// Reads one frame, re-checking the shutdown signal at every read
+/// timeout. `Ok(None)` means "stop reading" (clean EOF at a frame
+/// boundary, or shutdown).
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    max_len: u32,
+    shutdown: &ShutdownSignal,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(stream, &mut header, shutdown, true)? {
+        return Ok(None);
+    }
+    let len = frame::parse_header(&header, max_len)?;
+    let mut payload = vec![0u8; len as usize];
+    if !read_full(stream, &mut payload, shutdown, false)? {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// Fills `buf`, retrying through read timeouts. Returns `false` when
+/// reading should stop without an error: shutdown, or (only when
+/// `clean_eof_ok` and nothing was consumed) an orderly close. EOF
+/// mid-frame is an [`io::ErrorKind::UnexpectedEof`] error.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &ShutdownSignal,
+    clean_eof_ok: bool,
+) -> Result<bool, FrameError> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        if shutdown.is_triggered() {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[pos..]) {
+            Ok(0) => {
+                if clean_eof_ok && pos == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )));
+            }
+            Ok(n) => pos += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}

@@ -18,6 +18,10 @@
 //!   "full" state is an admission-control signal (`try_send` →
 //!   overload rejection) and whose `recv_timeout` is the coalescing
 //!   window. `lds-serve` builds on this.
+//! * [`ShutdownSignal`] — a cloneable level-triggered stop flag with
+//!   parked waiting, the broadcast bit a network front door
+//!   (`lds-net`) uses to stop accepting, drain in-flight sessions, and
+//!   exit without busy-waiting.
 //! * [`StreamRng`] — counter-based derivation of independent RNG streams
 //!   from `(seed, label, label, ...)` paths. Because every parallel task
 //!   derives its own stream instead of sharing mutable RNG state, the
@@ -36,8 +40,10 @@
 pub mod channel;
 mod phase;
 mod pool;
+mod shutdown;
 mod stream;
 
 pub use phase::Phase;
 pub use pool::ThreadPool;
+pub use shutdown::ShutdownSignal;
 pub use stream::{splitmix64, streams, StreamRng};

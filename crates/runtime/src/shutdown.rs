@@ -1,0 +1,115 @@
+//! Cooperative shutdown signaling.
+//!
+//! A serving process needs one broadcast bit — "stop taking new work,
+//! drain, exit" — observable from many threads: an acceptor loop polling
+//! a listener, session threads parked on read timeouts, drain loops
+//! waiting for in-flight work. [`ShutdownSignal`] is that bit as a
+//! dependency-free primitive: an `Arc`-shared flag plus a condvar so
+//! pollers can *sleep* between checks instead of spinning, and be woken
+//! the instant the signal trips.
+//!
+//! The signal is level-triggered and idempotent: once tripped it stays
+//! tripped, every clone observes it, and further [`ShutdownSignal::trigger`]
+//! calls are no-ops. `lds-net` uses it to stop its accept loop and to
+//! tell per-connection sessions to finish in-flight requests and close.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A cloneable, level-triggered shutdown flag with parked waiting.
+///
+/// # Example
+///
+/// ```
+/// use lds_runtime::ShutdownSignal;
+/// use std::time::Duration;
+///
+/// let signal = ShutdownSignal::new();
+/// let observer = signal.clone();
+/// assert!(!observer.is_triggered());
+/// // a poller sleeps up to the timeout, waking early on trigger
+/// assert!(!observer.wait_timeout(Duration::from_millis(1)));
+/// signal.trigger();
+/// assert!(observer.is_triggered());
+/// assert!(observer.wait_timeout(Duration::from_secs(60))); // returns now
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownSignal {
+    shared: Arc<Shared>,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    triggered: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl ShutdownSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Self {
+        ShutdownSignal::default()
+    }
+
+    /// Trips the signal and wakes every parked waiter. Idempotent.
+    pub fn trigger(&self) {
+        let mut t = self.shared.triggered.lock().expect("shutdown poisoned");
+        if !*t {
+            *t = true;
+            self.shared.wake.notify_all();
+        }
+    }
+
+    /// Whether the signal has been tripped.
+    pub fn is_triggered(&self) -> bool {
+        *self.shared.triggered.lock().expect("shutdown poisoned")
+    }
+
+    /// Parks the caller until the signal trips or `timeout` elapses;
+    /// returns whether the signal is tripped. This is the accept-loop
+    /// primitive: poll a non-blocking resource, then sleep here instead
+    /// of busy-waiting, waking immediately on shutdown.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.shared.triggered.lock().expect("shutdown poisoned");
+        if *guard {
+            return true;
+        }
+        let (guard, _) = self
+            .shared
+            .wake
+            .wait_timeout(guard, timeout)
+            .expect("shutdown poisoned");
+        *guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn trigger_is_broadcast_and_idempotent() {
+        let signal = ShutdownSignal::new();
+        assert!(!signal.is_triggered());
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let s = signal.clone();
+                thread::spawn(move || s.wait_timeout(Duration::from_secs(30)))
+            })
+            .collect();
+        signal.trigger();
+        signal.trigger(); // idempotent
+        for w in waiters {
+            assert!(w.join().unwrap(), "waiter must observe the trigger");
+        }
+        assert!(signal.is_triggered());
+        // once tripped, waits return immediately
+        assert!(signal.wait_timeout(Duration::ZERO));
+    }
+
+    #[test]
+    fn wait_times_out_while_untriggered() {
+        let signal = ShutdownSignal::new();
+        assert!(!signal.wait_timeout(Duration::from_millis(2)));
+    }
+}

@@ -60,9 +60,11 @@
 
 mod cache;
 mod coalesce;
+mod registry;
 mod server;
 mod stats;
 
 pub use cache::{IdempotencyKey, LruCache};
+pub use registry::{EngineRegistry, RegistryConfig, RegistryStats};
 pub use server::{ServeError, Server, ServerConfig, SubmitError, Ticket};
 pub use stats::ServerStats;

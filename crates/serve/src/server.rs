@@ -8,7 +8,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use lds_engine::{Engine, EngineError, RunReport, Task};
-use lds_runtime::channel::{self, RecvTimeoutError, TrySendError};
+use lds_runtime::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
 
 use crate::cache::{IdempotencyKey, LruCache};
 use crate::coalesce::coalesce;
@@ -348,23 +348,32 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
     let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
     while let Ok(first) = rx.recv() {
         batch.push(first);
-        if window.is_zero() {
-            while batch.len() < max_batch {
-                match rx.try_recv() {
-                    Ok(p) => batch.push(p),
-                    Err(_) => break,
+        // The deadline is computed lazily, only once the queue actually
+        // runs dry: while requests are already queued (the loaded-server
+        // steady state) the session takes them with plain `try_recv` —
+        // no clock reads, no condvar park — and a burst that fills
+        // `max_batch` dispatches without ever starting the window.
+        let mut deadline: Option<Instant> = None;
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(p) => {
+                    batch.push(p);
+                    continue;
                 }
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
             }
-        } else {
-            let deadline = Instant::now() + window;
-            while batch.len() < max_batch {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                    break;
-                };
-                match rx.recv_timeout(remaining) {
-                    Ok(p) => batch.push(p),
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-                }
+            if window.is_zero() {
+                // opportunistic mode: never wait for more
+                break;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + window);
+            let Some(remaining) = d.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(p) => batch.push(p),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         shared.dispatch(&mut batch);

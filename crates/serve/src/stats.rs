@@ -157,6 +157,44 @@ impl ServerStats {
             self.completed as f64 / secs
         }
     }
+
+    /// The **interval snapshot**: what happened between `earlier` and
+    /// `self`, as a `ServerStats` whose monotonic counters are deltas
+    /// and whose `uptime` is the interval length.
+    ///
+    /// Process-lifetime aggregates go flat on a long-lived server — a
+    /// tenant that served a million requests yesterday and nothing
+    /// today still shows a healthy lifetime throughput. Differencing
+    /// two snapshots (`snapshot_and_reset` style, without the reset:
+    /// the baseline snapshot *is* the state) yields rates that are
+    /// meaningful over time; the registry's per-tenant interval stats
+    /// are built exactly this way.
+    ///
+    /// Point-in-time fields (`queue_depth`, `peak_queue_depth`) and the
+    /// windowed latency percentiles keep their current values — they
+    /// are not counters and cannot be differenced.
+    pub fn since(&self, earlier: &ServerStats) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            engine_executions: self
+                .engine_executions
+                .saturating_sub(earlier.engine_executions),
+            batches: self.batches.saturating_sub(earlier.batches),
+            batched_requests: self
+                .batched_requests
+                .saturating_sub(earlier.batched_requests),
+            queue_depth: self.queue_depth,
+            peak_queue_depth: self.peak_queue_depth,
+            p50_latency: self.p50_latency,
+            p99_latency: self.p99_latency,
+            uptime: self.uptime.saturating_sub(earlier.uptime),
+        }
+    }
 }
 
 impl std::fmt::Display for ServerStats {
@@ -220,6 +258,47 @@ mod tests {
         let (p50, p99) = rec.percentiles();
         assert_eq!(p50, Duration::from_nanos(7));
         assert_eq!(p99, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn since_differences_counters_and_keeps_window_fields() {
+        let mk = |completed, submitted, uptime_s| ServerStats {
+            submitted,
+            rejected: 1,
+            completed,
+            failed: 0,
+            cache_hits: 4,
+            cache_misses: 10,
+            engine_executions: 9,
+            batches: 3,
+            batched_requests: 12,
+            queue_depth: 2,
+            peak_queue_depth: 8,
+            p50_latency: Duration::from_micros(100),
+            p99_latency: Duration::from_micros(900),
+            uptime: Duration::from_secs(uptime_s),
+        };
+        let earlier = mk(50, 60, 10);
+        let later = ServerStats {
+            completed: 80,
+            submitted: 95,
+            cache_hits: 14,
+            uptime: Duration::from_secs(14),
+            ..mk(0, 0, 0)
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.completed, 30);
+        assert_eq!(delta.submitted, 35);
+        assert_eq!(delta.cache_hits, 10);
+        // counters the interval never bumped saturate at zero
+        assert_eq!(delta.rejected, 0);
+        assert_eq!(delta.engine_executions, 0);
+        // interval throughput: 30 completions over 4 seconds
+        assert_eq!(delta.uptime, Duration::from_secs(4));
+        assert!((delta.throughput() - 7.5).abs() < 1e-12);
+        // point-in-time / windowed fields pass through from `self`
+        assert_eq!(delta.queue_depth, later.queue_depth);
+        assert_eq!(delta.p50_latency, later.p50_latency);
     }
 
     #[test]

@@ -32,8 +32,13 @@
 //!   bit-identical regardless of thread count.
 //! * [`serve`] — the concurrent serving front-end: a bounded request
 //!   queue with admission control, request coalescing into
-//!   `run_batch`, and an idempotency cache keyed by
-//!   `(engine fingerprint, task, seed)`.
+//!   `run_batch`, an idempotency cache keyed by
+//!   `(engine fingerprint, task, seed)`, and the multi-tenant
+//!   [`serve::EngineRegistry`] with LRU eviction.
+//! * [`net`] — out-of-process serving: a versioned binary wire codec,
+//!   a TCP [`net::NetServer`] over the engine registry, and a blocking
+//!   [`net::Client`] — served reports are bit-identical to in-process
+//!   execution.
 //!
 //! # Quickstart
 //!
@@ -76,6 +81,7 @@ pub use lds_engine as engine;
 pub use lds_gibbs as gibbs;
 pub use lds_graph as graph;
 pub use lds_localnet as localnet;
+pub use lds_net as net;
 pub use lds_oracle as oracle;
 pub use lds_runtime as runtime;
 pub use lds_serve as serve;

@@ -1,0 +1,414 @@
+//! Wire-codec properties: every protocol type round-trips through its
+//! canonical encoding bit-exactly, and **no** byte sequence — random
+//! soup, truncations, hostile lengths — makes a decoder panic.
+//!
+//! Equality is asserted on re-encoded bytes: the encoding is canonical
+//! (equal values ⇒ equal bytes), which also covers types without
+//! `PartialEq` (`RunReport`) and float payloads where `NaN != NaN`
+//! would defeat a value comparison even though the bits round-trip.
+
+use std::time::Duration;
+
+use lds::core::jvv::JvvStats;
+use lds::engine::{ModelSpec, RunReport, SampleDecode, ShardingStats, Task, TaskOutput, Topology};
+use lds::gibbs::{Config, PartialConfig, Value};
+use lds::graph::{EdgeId, GraphBuilder, HyperEdgeId, Hypergraph, NodeId};
+use lds::net::codec::{Wire, PHASE_NAMES};
+use lds::net::{EngineSpec, Op, Reply, Request, Response, WireError};
+use lds::runtime::Phase;
+use lds::serve::ServerStats;
+use proptest::prelude::*;
+
+fn f64_from(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn arb_task() -> impl Strategy<Value = Task> {
+    (0u8..4, any::<u32>(), any::<u32>()).prop_map(|(tag, a, b)| match tag {
+        0 => Task::SampleExact,
+        1 => Task::SampleApprox,
+        2 => Task::Infer {
+            vertex: NodeId(a),
+            value: Value(b),
+        },
+        _ => Task::Count,
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(tag, a, b, c, d)| match tag {
+            0 => ModelSpec::Hardcore {
+                lambda: f64_from(a),
+            },
+            1 => ModelSpec::Matching {
+                lambda: f64_from(a),
+            },
+            2 => ModelSpec::Ising {
+                beta: f64_from(a),
+                field: f64_from(b),
+            },
+            3 => ModelSpec::TwoSpin {
+                beta: f64_from(a),
+                gamma: f64_from(b),
+                lambda: f64_from(c),
+                rate: f64_from(d),
+            },
+            4 => ModelSpec::Coloring {
+                q: (a % 1024) as usize,
+            },
+            _ => ModelSpec::HypergraphMatching {
+                lambda: f64_from(a),
+            },
+        })
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (1usize..14, any::<bool>()).prop_flat_map(|(n, hyper)| {
+        let max_edges = n * n.saturating_sub(1) / 2;
+        proptest::collection::vec((0usize..n.max(1), 0usize..n.max(1)), 0..=max_edges.min(24))
+            .prop_map(move |pairs| {
+                if hyper {
+                    let edges = pairs
+                        .iter()
+                        .map(|(a, b)| {
+                            let mut e = vec![NodeId(*a as u32)];
+                            if b != a {
+                                e.push(NodeId(*b as u32));
+                            }
+                            e
+                        })
+                        .collect();
+                    Topology::Hypergraph(Hypergraph::new(n, edges))
+                } else {
+                    let mut b = GraphBuilder::new(n);
+                    for (u, v) in pairs {
+                        if u != v {
+                            b.try_add_edge(NodeId(u as u32), NodeId(v as u32));
+                        }
+                    }
+                    Topology::Graph(b.build())
+                }
+            })
+    })
+}
+
+fn arb_pinning() -> impl Strategy<Value = Option<PartialConfig>> {
+    (
+        1usize..16,
+        proptest::collection::vec((0usize..16, any::<u32>()), 0..8),
+        any::<bool>(),
+    )
+        .prop_map(|(n, pins, some)| {
+            if !some {
+                return None;
+            }
+            let mut tau = PartialConfig::empty(n);
+            for (v, val) in pins {
+                if v < n {
+                    tau.pin(NodeId(v as u32), Value(val));
+                }
+            }
+            Some(tau)
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = EngineSpec> {
+    (
+        arb_model(),
+        arb_topology(),
+        arb_pinning(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(model, topology, pinning, eps, delta)| EngineSpec {
+            model,
+            topology,
+            pinning,
+            epsilon: f64_from(eps),
+            delta: f64_from(delta),
+        })
+}
+
+fn arb_duration() -> impl Strategy<Value = Duration> {
+    (any::<u64>(), 0u32..1_000_000_000).prop_map(|(s, n)| Duration::new(s, n))
+}
+
+fn arb_output() -> impl Strategy<Value = TaskOutput> {
+    (
+        0u8..3,
+        proptest::collection::vec(any::<u32>(), 0..20),
+        proptest::collection::vec(any::<u64>(), 0..6),
+        any::<u64>(),
+        0u8..3,
+    )
+        .prop_map(|(tag, vals, floats, x, decode_tag)| match tag {
+            0 => TaskOutput::Sample {
+                config: Config::from_values(vals.iter().map(|v| Value(*v)).collect()),
+                decoded: match decode_tag {
+                    0 => SampleDecode::Spins,
+                    1 => SampleDecode::Matching(vals.iter().map(|v| EdgeId(*v)).collect()),
+                    _ => SampleDecode::HypergraphMatching(
+                        vals.iter().map(|v| HyperEdgeId(*v)).collect(),
+                    ),
+                },
+            },
+            1 => TaskOutput::Marginal {
+                distribution: floats.iter().map(|b| f64_from(*b)).collect(),
+                probability: f64_from(x),
+            },
+            _ => TaskOutput::Count {
+                log_z: f64_from(x),
+                log_error_bound: f64_from(x.rotate_left(17)),
+            },
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (
+        (arb_task(), any::<u64>(), arb_output(), any::<bool>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (0u8..2, any::<u64>(), 0usize..4),
+        (arb_duration(), arb_duration(), 0u8..2),
+    )
+        .prop_map(
+            |(
+                (task, seed, output, succeeded),
+                (rounds, bound_bits, rate_bits),
+                (has_stats, stat_bits, n_phases),
+                (wall, phase_wall, has_sharding),
+            )| {
+                RunReport {
+                    task,
+                    seed,
+                    output,
+                    succeeded,
+                    rounds: (rounds % (1 << 40)) as usize,
+                    bound_rounds: f64_from(bound_bits),
+                    rate: f64_from(rate_bits),
+                    stats: (has_stats == 1).then(|| JvvStats {
+                        acceptance_product: f64_from(stat_bits),
+                        clamped: (stat_bits % 7) as usize,
+                        repair_failures: (stat_bits % 3) as usize,
+                        locality: (stat_bits % 100) as usize,
+                    }),
+                    wall_time: wall,
+                    phases: (0..n_phases)
+                        .map(|i| {
+                            Phase::new(
+                                PHASE_NAMES[(i + stat_bits as usize) % PHASE_NAMES.len()],
+                                phase_wall,
+                                i * 3,
+                            )
+                        })
+                        .collect(),
+                    sharding: (has_sharding == 1).then(|| ShardingStats {
+                        projected_clusters: (stat_bits % 11) as usize,
+                        inline_clusters: (stat_bits % 5) as usize,
+                        halo_sum: (stat_bits % 1000) as usize,
+                        max_halo: (stat_bits % 100) as usize,
+                        bytes_cloned: stat_bits,
+                        halo_bytes_bound: stat_bits.wrapping_mul(2),
+                    }),
+                }
+            },
+        )
+}
+
+fn arb_server_stats() -> impl Strategy<Value = ServerStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), 0usize..10_000, 0usize..10_000),
+        (arb_duration(), arb_duration(), arb_duration()),
+    )
+        .prop_map(
+            |(
+                (submitted, rejected, completed, failed),
+                (cache_hits, cache_misses, engine_executions, batches),
+                (batched_requests, queue_depth, peak_queue_depth),
+                (p50, p99, uptime),
+            )| ServerStats {
+                submitted,
+                rejected,
+                completed,
+                failed,
+                cache_hits,
+                cache_misses,
+                engine_executions,
+                batches,
+                batched_requests,
+                queue_depth,
+                peak_queue_depth,
+                p50_latency: p50,
+                p99_latency: p99,
+                uptime,
+            },
+        )
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    (
+        0u8..7,
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..24),
+    )
+        .prop_map(|(tag, x, msg)| {
+            let msg = String::from_utf8_lossy(&msg).into_owned();
+            match tag {
+                0 => WireError::Overloaded {
+                    queue_depth: (x % 100_000) as usize,
+                    watermark: (x % 4096) as usize,
+                },
+                1 => WireError::ShuttingDown,
+                2 => WireError::UnknownFingerprint(x),
+                3 => WireError::Rejected(msg),
+                4 => WireError::Engine(msg),
+                5 => WireError::Cancelled,
+                _ => WireError::Malformed(msg),
+            }
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        0u8..4,
+        arb_spec(),
+        any::<u64>(),
+        arb_task(),
+        any::<bool>(),
+    )
+        .prop_map(|(id, tag, spec, x, task, interval)| Request {
+            id,
+            op: match tag {
+                0 => Op::Ping,
+                1 => Op::Register(Box::new(spec)),
+                2 => Op::Run {
+                    fingerprint: x,
+                    task,
+                    seed: x.rotate_left(13),
+                },
+                _ => Op::Stats {
+                    fingerprint: x,
+                    interval,
+                },
+            },
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        any::<u64>(),
+        0u8..5,
+        arb_report(),
+        arb_server_stats(),
+        arb_wire_error(),
+        any::<u64>(),
+    )
+        .prop_map(|(id, tag, report, stats, error, fp)| Response {
+            id,
+            reply: match tag {
+                0 => Reply::Pong,
+                1 => Reply::Registered { fingerprint: fp },
+                2 => Reply::Report(Box::new(report)),
+                3 => Reply::Stats(Box::new(stats)),
+                _ => Reply::Error(error),
+            },
+        })
+}
+
+/// Round trip + canonical re-encode for any `Wire` type. Returns the
+/// same `Err(String)` shape `prop_assert!` produces, so callers `?` it.
+fn assert_round_trip<T: Wire>(value: &T) -> Result<(), String> {
+    let bytes = value.to_bytes();
+    let back = T::from_bytes(&bytes).map_err(|e| format!("decode of own encoding failed: {e}"))?;
+    prop_assert_eq!(&back.to_bytes(), &bytes, "re-encode is not canonical");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn tasks_round_trip(task in arb_task()) {
+        assert_round_trip(&task)?;
+        // Task has Eq: value-level agreement too
+        prop_assert_eq!(Task::from_bytes(&task.to_bytes()).unwrap(), task);
+    }
+
+    #[test]
+    fn model_specs_round_trip_bit_exactly(model in arb_model()) {
+        assert_round_trip(&model)?;
+        // the fingerprint — the cross-process identity — survives the wire
+        let back = ModelSpec::from_bytes(&model.to_bytes()).unwrap();
+        prop_assert_eq!(back.fingerprint(), model.fingerprint());
+    }
+
+    #[test]
+    fn topologies_round_trip_with_identical_fingerprints(topo in arb_topology()) {
+        assert_round_trip(&topo)?;
+        let back = Topology::from_bytes(&topo.to_bytes()).unwrap();
+        prop_assert_eq!(back.fingerprint(), topo.fingerprint());
+        prop_assert_eq!(back.node_count(), topo.node_count());
+    }
+
+    #[test]
+    fn engine_specs_round_trip(spec in arb_spec()) {
+        assert_round_trip(&spec)?;
+    }
+
+    #[test]
+    fn run_reports_round_trip(report in arb_report()) {
+        assert_round_trip(&report)?;
+    }
+
+    #[test]
+    fn server_stats_round_trip(stats in arb_server_stats()) {
+        assert_round_trip(&stats)?;
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip(req in arb_request(), resp in arb_response()) {
+        assert_round_trip(&req)?;
+        assert_round_trip(&resp)?;
+    }
+
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // decoding arbitrary bytes as any protocol type returns a typed
+        // result — Ok or Err — and never panics or over-allocates
+        let _ = Task::from_bytes(&bytes);
+        let _ = ModelSpec::from_bytes(&bytes);
+        let _ = Topology::from_bytes(&bytes);
+        let _ = EngineSpec::from_bytes(&bytes);
+        let _ = RunReport::from_bytes(&bytes);
+        let _ = ServerStats::from_bytes(&bytes);
+        let _ = WireError::from_bytes(&bytes);
+        let _ = Request::from_bytes(&bytes);
+        let _ = Response::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_valid_encoding_fails_cleanly(resp in arb_response()) {
+        let bytes = resp.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Response::from_bytes(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte response decoded", bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn flipping_the_tag_byte_is_typed(task in arb_task()) {
+        // corrupt the tag: decode must yield Malformed, not panic
+        let mut bytes = task.to_bytes();
+        bytes[0] = 0xEE;
+        prop_assert!(Task::from_bytes(&bytes).is_err());
+    }
+}
