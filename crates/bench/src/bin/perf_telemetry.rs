@@ -1,7 +1,9 @@
 //! CI perf telemetry: run the tracked `runtime` / `jvv` / `serving`
-//! workloads in quick mode, emit a `BENCH_runtime.json` summary (median
-//! ns per op, pool width, git sha), and fail if any tracked metric
-//! regressed more than 25% against the committed `bench/baseline.json`.
+//! workloads in quick mode, emit a `BENCH_runtime.json` summary
+//! (lower-quartile ns per op for identical-work loops, median over the
+//! fixed seed set for the per-seed JVV passes; pool width; git sha),
+//! and fail if any tracked metric regressed more than 25% against the
+//! committed `bench/baseline.json`.
 //!
 //! ```sh
 //! cargo run -p lds-bench --release --bin perf_telemetry -- \
@@ -22,15 +24,21 @@
 //!   absolute allowance for timer noise: both paths are an inline map).
 //!
 //! The emitted JSON carries a second `serving` section: coalesced
-//! dispatch through `lds-serve` vs. one-at-a-time execution of the same
-//! burst, at engine pool widths 1 and 4. Only the width-1 coalesced
-//! cost is gated (it is dispatch overhead on an inline engine, stable
-//! on any hardware); the width-4 numbers are trend telemetry — the
-//! coalescing *speedup* is hardware-dependent and shows up on runners
-//! with real cores. A `net` section prices the out-of-process path the
+//! dispatch through `lds-serve` vs. one-at-a-time dispatch of the same
+//! burst through a zero-window server (serial submit/wait round
+//! trips), at engine pool widths 1 and 4 — the speedup isolates what
+//! the coalescer buys over per-request dispatch. Only the width-1
+//! coalesced cost is gated (it is dispatch overhead on an inline
+//! engine, stable on any hardware); width 4 additionally has an
+//! in-binary canary — on runners with real cores batch fan-out makes
+//! the speedup larger, never smaller. A `net` section prices the out-of-process path the
 //! same way: loopback TCP round-trips against a cache-hot tenant
 //! (strict vs. pipelined ×4) plus `RunReport` codec encode/decode; only
-//! the strict round-trip (`net_roundtrip_w1_ns`) is gated.
+//! the strict round-trip (`net_roundtrip_w1_ns`) is gated. A `count`
+//! section prices the two-pass chain-rule counter (anchor / marginals
+//! phase split at widths 1 and 4, `count_chain_w1_ns` gated) and the
+//! annealed sampling-backed variant (certified error and samples per
+//! level).
 //!
 //! The JSON is hand-rolled (the container vendors no serde); the
 //! baseline reader scans for `"key": number` pairs regardless of
@@ -48,14 +56,29 @@ use lds_net::{Client, EngineSpec, NetConfig, NetServer, Op, Wire};
 use lds_runtime::ThreadPool;
 use lds_serve::{RegistryConfig, Server, ServerConfig};
 
-/// Median of a sample vector (ns).
+/// Median of a sample vector (ns). The right summary for series whose
+/// reps do *different* work (e.g. per-seed JVV passes, where rejection
+/// restarts vary by seed): it reflects the workload mix the baseline
+/// was calibrated on.
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     xs[xs.len() / 2]
 }
 
+/// 25th percentile of a sample vector (ns). The gate statistic for
+/// identical-work loops: every rep does the same work, so the lower
+/// quartile estimates the intrinsic cost while shrugging off host-load
+/// bursts that can own the median on a busy shared runner. A real
+/// regression shifts the whole distribution — this quantile included —
+/// so the gate still catches it.
+fn lower_quartile(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 4]
+}
+
 /// Times `body` `samples` times (after one warmup) and returns the
-/// median ns per call, where `body` performs `per_sample_ops` ops.
+/// lower-quartile ns per call, where `body` performs `per_sample_ops`
+/// identical ops per rep.
 fn measure<F: FnMut()>(samples: usize, per_sample_ops: usize, mut body: F) -> f64 {
     body(); // warmup
     let mut xs = Vec::with_capacity(samples);
@@ -64,7 +87,7 @@ fn measure<F: FnMut()>(samples: usize, per_sample_ops: usize, mut body: F) -> f6
         body();
         xs.push(start.elapsed().as_nanos() as f64 / per_sample_ops as f64);
     }
-    median(xs)
+    lower_quartile(xs)
 }
 
 fn small_item(x: &u64) -> u64 {
@@ -198,7 +221,9 @@ fn main() {
         .build()
         .expect("in regime");
     let seeds: Vec<u64> = (0..8).collect();
-    let batch_ns = measure(samples.min(11), seeds.len(), || {
+    // a batch costs ~0.5 ms, so extra reps are free — and this metric
+    // is gated, so its median must not wander with host-load spikes
+    let batch_ns = measure(samples.max(21), seeds.len(), || {
         std::hint::black_box(engine.run_batch(Task::SampleExact, &seeds).unwrap());
     });
     metrics.push(("run_batch_per_sample_ns".to_string(), batch_ns));
@@ -215,6 +240,9 @@ fn main() {
     let mut ground = Vec::new();
     let mut sample = Vec::new();
     let mut reject = Vec::new();
+    // per-seed work differs (rejection restarts are Las Vegas), so the
+    // seed set is part of each metric's identity — keep it fixed and
+    // summarize with the median over seeds
     for rep in 0..samples.min(11) as u64 {
         let report = engine.run_with_seed(Task::SampleExact, rep).unwrap();
         for phase in &report.phases {
@@ -231,9 +259,17 @@ fn main() {
     metrics.push(("jvv_pass2_sample_ns".to_string(), median(sample)));
     metrics.push(("jvv_pass3_reject_ns".to_string(), median(reject)));
 
-    // --- serving section: coalesced dispatch vs one-at-a-time, per
-    // engine pool width (cache disabled — this measures dispatch shape,
-    // not replay) ---
+    // --- serving section: coalesced dispatch vs one-at-a-time
+    // dispatch, per engine pool width (cache disabled — this measures
+    // dispatch shape, not replay). Both shapes go through the server:
+    // one-at-a-time is a serial client (submit, wait, repeat) against
+    // an opportunistic zero-window server — it pays the front-end's
+    // per-request dispatch cost on every request — while the coalesced
+    // client bursts the same seeds into a windowed server that folds
+    // them into one `run_batch`. The ratio is therefore what the
+    // coalescer itself buys, independent of the raw library-vs-server
+    // tax (which `serve_coalesced_w1_ns` tracks against the baseline
+    // in absolute terms). ---
     let mut serving: Vec<(String, f64)> = Vec::new();
     const SERVE_BURST: u64 = 8;
     for width in [1usize, 4] {
@@ -246,14 +282,16 @@ fn main() {
                 .build()
                 .expect("in regime"),
         );
-        let mut seed = 0u64;
-        let seq_engine = Arc::clone(&eng);
-        let one_at_a_time = measure(samples.min(11), SERVE_BURST as usize, || {
-            for _ in 0..SERVE_BURST {
-                seed += 1;
-                std::hint::black_box(seq_engine.run_with_seed(Task::SampleExact, seed).unwrap());
-            }
-        });
+        let serial_server = Server::new(
+            Arc::clone(&eng),
+            ServerConfig {
+                workers: 1,
+                coalesce_window: Duration::ZERO,
+                max_batch: SERVE_BURST as usize,
+                cache_capacity: 0,
+                ..ServerConfig::default()
+            },
+        );
         let server = Server::new(
             Arc::clone(&eng),
             ServerConfig {
@@ -264,24 +302,56 @@ fn main() {
                 ..ServerConfig::default()
             },
         );
-        let mut seed = 1_000_000u64;
-        let coalesced = measure(samples.min(11), SERVE_BURST as usize, || {
+        // Paired, interleaved measurement: each iteration times both
+        // dispatch shapes back-to-back, so a scheduler interference
+        // burst on a shared host lands on both series instead of
+        // skewing the ratio of two medians taken seconds apart. The
+        // windows are tiny (~µs per burst), so extra reps are free and
+        // buy most of the stability.
+        let reps = samples.max(21);
+        let mut one_ns = Vec::with_capacity(reps);
+        let mut co_ns = Vec::with_capacity(reps);
+        let mut ratios = Vec::with_capacity(reps);
+        let mut seed = 0u64;
+        let mut co_seed = 1_000_000u64;
+        for rep in 0..=reps {
+            let start = Instant::now();
+            for _ in 0..SERVE_BURST {
+                seed += 1;
+                let ticket = serial_server.submit(Task::SampleExact, seed).unwrap();
+                std::hint::black_box(ticket.wait().unwrap());
+            }
+            let one = start.elapsed().as_nanos() as f64 / SERVE_BURST as f64;
+            let start = Instant::now();
             let tickets: Vec<_> = (0..SERVE_BURST)
                 .map(|_| {
-                    seed += 1;
-                    server.submit(Task::SampleExact, seed).unwrap()
+                    co_seed += 1;
+                    server.submit(Task::SampleExact, co_seed).unwrap()
                 })
                 .collect();
             for t in tickets {
                 std::hint::black_box(t.wait().unwrap());
             }
-        });
+            let co = start.elapsed().as_nanos() as f64 / SERVE_BURST as f64;
+            if rep > 0 {
+                // rep 0 is the warmup for both shapes
+                one_ns.push(one);
+                co_ns.push(co);
+                ratios.push(one / co);
+            }
+        }
+        // identical work per rep → lower-quartile cost estimates
+        let one_at_a_time = lower_quartile(one_ns);
+        let coalesced = lower_quartile(co_ns);
+        // The speedup is the median of per-rep ratios, not the ratio of
+        // the two medians: a stall that lands on one series in one rep
+        // shifts that rep's ratio, but the median of 21+ paired ratios
+        // shrugs it off, where a ratio of independently-noisy medians
+        // would not.
+        let speedup = median(ratios);
         serving.push((format!("serve_one_at_a_time_w{width}_ns"), one_at_a_time));
         serving.push((format!("serve_coalesced_w{width}_ns"), coalesced));
-        serving.push((
-            format!("serve_coalesce_speedup_w{width}"),
-            one_at_a_time / coalesced,
-        ));
+        serving.push((format!("serve_coalesce_speedup_w{width}"), speedup));
     }
 
     // --- sharding section: the halo-sharded chromatic runner on a
@@ -374,12 +444,14 @@ fn main() {
 
         const NET_OPS: usize = 16;
         const PIPELINE: usize = 4;
-        let one_at_a_time = measure(samples.min(11), NET_OPS, || {
+        // the strict round-trip is gated and syscall-bound (~25 µs/op),
+        // so extra reps are cheap stability
+        let one_at_a_time = measure(samples.max(21), NET_OPS, || {
             for _ in 0..NET_OPS {
                 std::hint::black_box(client.run(fp, Task::SampleExact, 7).unwrap());
             }
         });
-        let pipelined = measure(samples.min(11), NET_OPS, || {
+        let pipelined = measure(samples.max(21), NET_OPS, || {
             for _ in 0..NET_OPS / PIPELINE {
                 for _ in 0..PIPELINE {
                     client
@@ -425,6 +497,88 @@ fn main() {
         server.shutdown();
     }
 
+    // --- count section: the two-pass chain-rule counter through the
+    // engine (Task::Count) on cycle(48), per pool width. The anchor
+    // pass is a cheap coarse-precision sequential walk; the marginal
+    // pass fans the frozen chain across the pool — the per-phase split
+    // comes straight from RunReport::phases. Only the width-1 chain
+    // cost is gated (compute on an inline pool, stable on any
+    // hardware); width 4 is trend telemetry like serving. The annealed
+    // rows price the sampling-backed anytime variant: certified error
+    // achieved per level and the samples the stopping rule spent. ---
+    let mut count: Vec<(String, f64)> = Vec::new();
+    for width in [1usize, 4] {
+        let engine = Engine::builder()
+            .model(ModelSpec::Hardcore { lambda: 1.0 })
+            .graph(generators::cycle(48))
+            .epsilon(0.05)
+            .threads(width)
+            .build()
+            .expect("in regime");
+        let mut total = Vec::new();
+        let mut anchor = Vec::new();
+        let mut marginals = Vec::new();
+        // one chain costs ~50 µs; the width-1 total is gated, so buy
+        // estimator stability with extra reps
+        for rep in 0..samples.max(21) as u64 {
+            let report = engine.run_with_seed(Task::Count, rep).unwrap();
+            let mut chain = 0.0;
+            for phase in &report.phases {
+                let ns = phase.wall_time.as_nanos() as f64;
+                chain += ns;
+                match phase.name {
+                    "anchor" => anchor.push(ns),
+                    "marginals" => marginals.push(ns),
+                    _ => {}
+                }
+            }
+            total.push(chain);
+        }
+        // the two-pass estimator is deterministic — every rep is
+        // identical work, so the lower quartile is the cost estimate
+        count.push((format!("count_chain_w{width}_ns"), lower_quartile(total)));
+        count.push((format!("count_anchor_w{width}_ns"), lower_quartile(anchor)));
+        count.push((
+            format!("count_marginals_w{width}_ns"),
+            lower_quartile(marginals),
+        ));
+    }
+    {
+        use lds_core::counting::{self, AnnealedConfig};
+        use lds_gibbs::models::{hardcore, two_spin::TwoSpinParams};
+        use lds_gibbs::PartialConfig;
+        use lds_oracle::{DecayRate, TwoSpinSawOracle};
+        let g = generators::cycle(12);
+        let model = hardcore::model(&g, 1.0);
+        let oracle = TwoSpinSawOracle::new(TwoSpinParams::hardcore(1.0), DecayRate::new(0.5, 2.0));
+        let cfg = AnnealedConfig {
+            eps: 0.35,
+            max_samples_per_level: 2048,
+            ..AnnealedConfig::default()
+        };
+        let run = counting::log_partition_function_annealed(
+            &model,
+            &PartialConfig::empty(12),
+            &oracle,
+            &cfg,
+            7,
+            &ThreadPool::new(1),
+        )
+        .expect("annealed count");
+        count.push((
+            "count_annealed_level_err".to_string(),
+            run.estimate.log_error_bound / run.levels.max(1) as f64,
+        ));
+        count.push((
+            "count_annealed_samples_per_level".to_string(),
+            run.samples as f64 / run.levels.max(1) as f64,
+        ));
+        count.push((
+            "count_annealed_certified_levels".to_string(),
+            run.certified_levels as f64,
+        ));
+    }
+
     let sha = git_sha();
     // all sections flattened, for the gates below
     let all_metrics: Vec<(String, f64)> = metrics
@@ -432,6 +586,7 @@ fn main() {
         .chain(serving.iter())
         .chain(sharding.iter())
         .chain(net.iter())
+        .chain(count.iter())
         .cloned()
         .collect();
     let json = render_json(
@@ -442,6 +597,7 @@ fn main() {
             ("serving", &serving[..]),
             ("sharding", &sharding[..]),
             ("net", &net[..]),
+            ("count", &count[..]),
         ],
     );
     std::fs::write(&out_path, &json).expect("write summary");
@@ -491,16 +647,18 @@ fn main() {
         );
     }
 
-    // Width-4 coalescing canary: coalesced dispatch must stay within a
-    // generous factor of one-at-a-time execution of the same burst (the
-    // ratio is hardware-dependent — real cores make it a speedup — so
-    // this only catches catastrophic dispatch regressions, with an
-    // absolute allowance for timer noise on tiny bursts).
+    // Width-4 coalescing canary: coalesced dispatch must beat serial
+    // one-at-a-time dispatch of the same burst even on a single-core
+    // runner (real cores make the win bigger). The batch fan-out caps
+    // its lanes at the host parallelism, so pool width beyond the
+    // cores no longer costs dispatch overhead — a recurrence of that
+    // regression trips this. The margin is an absolute timer-noise
+    // allowance on tiny bursts, not headroom for oversubscription.
     let (one4, co4) = (
         get("serve_one_at_a_time_w4_ns"),
         get("serve_coalesced_w4_ns"),
     );
-    if co4 > one4 * 1.5 + 20_000.0 {
+    if co4 > one4 * 1.25 + 10_000.0 {
         eprintln!(
             "FAIL serve-w4 gate: coalesced dispatch {co4:.0} ns per request vs one-at-a-time {one4:.0} ns"
         );
@@ -524,6 +682,7 @@ fn main() {
         "jvv_pass3_reject_ns",
         "serve_coalesced_w1_ns",
         "net_roundtrip_w1_ns",
+        "count_chain_w1_ns",
     ];
     if let Some(path) = baseline_path {
         match std::fs::read_to_string(&path) {

@@ -1,5 +1,6 @@
 //! The unified error type of the engine facade.
 
+use lds_core::counting::CountError;
 use lds_core::regime::OutOfRegime;
 use lds_localnet::InfeasiblePinning;
 
@@ -46,10 +47,11 @@ pub enum EngineError {
         /// What was wrong with the request.
         message: String,
     },
-    /// The chain-rule count estimator failed to build a feasible anchor
-    /// (cannot happen for locally admissible models with an honest
-    /// oracle).
-    CountFailed,
+    /// The chain-rule count estimator failed; the payload says which
+    /// invariant broke (empty marginal vector, non-positive anchor
+    /// marginal, or infeasible anchor weight — cannot happen for locally
+    /// admissible models with an honest oracle).
+    CountFailed(CountError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -71,8 +73,8 @@ impl std::fmt::Display for EngineError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             EngineError::InvalidTask { message } => write!(f, "invalid task: {message}"),
-            EngineError::CountFailed => {
-                write!(f, "count estimator failed to build a feasible anchor")
+            EngineError::CountFailed(cause) => {
+                write!(f, "count estimator failed: {cause}")
             }
         }
     }
@@ -82,6 +84,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::OutOfRegime(e) => Some(e),
+            EngineError::CountFailed(e) => Some(e),
             _ => None,
         }
     }
@@ -96,6 +99,12 @@ impl From<OutOfRegime> for EngineError {
 impl From<InfeasiblePinning> for EngineError {
     fn from(_: InfeasiblePinning) -> Self {
         EngineError::InfeasiblePinning
+    }
+}
+
+impl From<CountError> for EngineError {
+    fn from(e: CountError) -> Self {
+        EngineError::CountFailed(e)
     }
 }
 
@@ -126,5 +135,26 @@ mod tests {
         }
         .to_string()
         .contains("expected length 5"));
+    }
+
+    #[test]
+    fn count_failures_carry_their_cause() {
+        use lds_graph::NodeId;
+        let causes = [
+            CountError::EmptyMarginal { vertex: NodeId(3) },
+            CountError::NonPositiveMarginal { vertex: NodeId(7) },
+            CountError::InfeasibleAnchor,
+        ];
+        for cause in causes {
+            let e = EngineError::from(cause);
+            assert_eq!(e, EngineError::CountFailed(cause));
+            // the diagnosis survives Display — that string is what
+            // crosses the wire to serving clients
+            assert!(
+                e.to_string().contains(&cause.to_string()),
+                "{e} should mention {cause}"
+            );
+            assert!(e.source().is_some(), "cause must be the source");
+        }
     }
 }

@@ -686,7 +686,15 @@ impl Wire for ShardingStats {
 /// table; a name outside it is a malformed frame (and a reminder to
 /// extend the table when the engine grows a phase).
 pub const PHASE_NAMES: &[&str] = &[
-    "schedule", "ground", "sample", "reject", "scan", "oracle", "count",
+    "schedule",
+    "ground",
+    "sample",
+    "reject",
+    "scan",
+    "oracle",
+    "count",
+    "anchor",
+    "marginals",
 ];
 
 impl Wire for Phase {

@@ -208,6 +208,55 @@ where
     })
 }
 
+/// The `n` chain-rule marginal distributions `μ^{τ∧σ_{<i}}_{v_i}` of a
+/// frozen pinning chain, fanned out across the pool.
+///
+/// `levels` is the chain in order: level `i` pins `levels[..i]` on top
+/// of `base` and evaluates the marginal at `levels[i].0`. Because the
+/// chain is frozen, level `i`'s prefix is known without running levels
+/// `< i` — each level is a self-contained trial, so the chain-rule
+/// product (the counting reduction's inner loop) parallelizes
+/// embarrassingly even though it *looks* sequential. This is the batch
+/// entry point the counting estimator in `lds-core` dispatches to.
+///
+/// Results are in level order and bit-identical to evaluating the chain
+/// in a sequential loop, at any pool width: a prefix rebuilt by pinning
+/// `levels[..i]` onto a clone of `base` in order is bit-equal to the
+/// incrementally grown pinning of a sequential walk, and
+/// [`MultiplicativeInference::marginal_mul`] is a deterministic function
+/// of `(model, pinning, v, eps)`.
+pub fn chain_marginals_mul<O>(
+    oracle: &O,
+    model: &GibbsModel,
+    base: &PartialConfig,
+    levels: &[(NodeId, lds_gibbs::Value)],
+    eps: f64,
+    pool: &ThreadPool,
+) -> Vec<Vec<f64>>
+where
+    O: MultiplicativeInference + Clone + Send + Sync + 'static,
+{
+    if pool.is_sequential() || levels.len() <= 1 {
+        let mut prefix = base.clone();
+        let mut out = Vec::with_capacity(levels.len());
+        for &(v, val) in levels {
+            out.push(oracle.marginal_mul(model, &prefix, v, eps));
+            prefix.pin(v, val);
+        }
+        return out;
+    }
+    let shared = Arc::new((oracle.clone(), model.clone(), base.clone(), levels.to_vec()));
+    let indices: Vec<usize> = (0..levels.len()).collect();
+    pool.par_map(&indices, move |&i| {
+        let (oracle, model, base, levels) = &*shared;
+        let mut prefix = base.clone();
+        for &(u, val) in &levels[..i] {
+            prefix.pin(u, val);
+        }
+        oracle.marginal_mul(model, &prefix, levels[i].0, eps)
+    })
+}
+
 impl<O: InferenceOracle> MultiplicativeInference for BoostedOracle<O> {
     fn name(&self) -> &str {
         "boosted"
@@ -317,6 +366,47 @@ mod tests {
             for (i, &v) in vs.iter().enumerate() {
                 assert_eq!(batch[i], boosted.marginal_mul(&m, &tau, v, 0.3));
             }
+        }
+    }
+
+    #[test]
+    fn chain_marginals_match_incremental_walk_bitwise() {
+        let g = generators::cycle(10);
+        let m = hardcore::model(&g, 1.2);
+        let mut base = PartialConfig::empty(10);
+        base.pin(NodeId(3), Value(0));
+        let boosted = boosted_hc(1.2);
+        // a frozen greedy chain over the free vertices
+        let mut levels = Vec::new();
+        let mut prefix = base.clone();
+        for v in g.nodes().filter(|&v| !base.is_pinned(v)) {
+            let mu = boosted.marginal_mul(&m, &prefix, v, 0.3);
+            let argmax = mu
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            let val = Value::from_index(argmax);
+            levels.push((v, val));
+            prefix.pin(v, val);
+        }
+        // the sequential walk's marginals are the ground truth
+        let expected: Vec<Vec<f64>> = {
+            let mut prefix = base.clone();
+            levels
+                .iter()
+                .map(|&(v, val)| {
+                    let mu = boosted.marginal_mul(&m, &prefix, v, 0.3);
+                    prefix.pin(v, val);
+                    mu
+                })
+                .collect()
+        };
+        for threads in [1, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let chain = chain_marginals_mul(&boosted, &m, &base, &levels, 0.3, &pool);
+            assert_eq!(chain, expected, "width {threads}");
         }
     }
 

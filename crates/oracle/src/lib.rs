@@ -33,7 +33,9 @@ mod decay;
 mod enumeration;
 pub mod saw;
 
-pub use boosting::{marginals_mul_batch, BoostedOracle, MultiplicativeInference};
+pub use boosting::{
+    chain_marginals_mul, marginals_mul_batch, BoostedOracle, MultiplicativeInference,
+};
 pub use decay::DecayRate;
 pub use enumeration::EnumerationOracle;
 pub use saw::TwoSpinSawOracle;

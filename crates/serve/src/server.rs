@@ -194,20 +194,27 @@ struct Shared {
 }
 
 impl Shared {
-    /// Answers one request and records its service latency.
-    fn respond(&self, pending: Pending, result: Result<RunReport, ServeError>) {
-        let counter = if result.is_ok() {
-            &self.counters.completed
-        } else {
-            &self.counters.failed
-        };
-        Counters::bump(counter, 1);
-        self.latency
-            .lock()
-            .expect("latency lock poisoned")
-            .record(pending.submitted_at.elapsed());
-        // a dropped Ticket is a fire-and-forget request; ignore it
-        let _ = pending.tx.send(result);
+    /// Answers a group of requests, recording their service latencies
+    /// under **one** reservoir-lock acquisition. Dispatch always answers
+    /// whole groups (cache hits, a completed batch, a failed batch), so
+    /// taking the latency lock per response only adds contention with
+    /// the other worker sessions on the coalesced path.
+    fn respond_many<I>(&self, responses: I)
+    where
+        I: IntoIterator<Item = (Pending, Result<RunReport, ServeError>)>,
+    {
+        let mut latency = self.latency.lock().expect("latency lock poisoned");
+        for (pending, result) in responses {
+            let counter = if result.is_ok() {
+                &self.counters.completed
+            } else {
+                &self.counters.failed
+            };
+            Counters::bump(counter, 1);
+            latency.record(pending.submitted_at.elapsed());
+            // a dropped Ticket is a fire-and-forget request; ignore it
+            let _ = pending.tx.send(result);
+        }
     }
 
     /// Dispatches one drained batch: coalesce, resolve against the
@@ -257,9 +264,7 @@ impl Shared {
             }
             Counters::bump(&self.counters.cache_hits, hits);
             Counters::bump(&self.counters.cache_misses, misses);
-            for (w, report) in cached {
-                self.respond(w, Ok(report));
-            }
+            self.respond_many(cached.into_iter().map(|(w, report)| (w, Ok(report))));
             if to_run.is_empty() {
                 continue;
             }
@@ -302,11 +307,14 @@ impl Shared {
                             answered.push((waiters, riders, report));
                         }
                     }
-                    for (waiters, riders, report) in answered {
-                        for w in waiters.into_iter().chain(riders) {
-                            self.respond(w, Ok(report.clone()));
-                        }
-                    }
+                    self.respond_many(answered.into_iter().flat_map(
+                        |(waiters, riders, report)| {
+                            waiters
+                                .into_iter()
+                                .chain(riders)
+                                .map(move |w| (w, Ok(report.clone())))
+                        },
+                    ));
                 }
                 Err(err) => {
                     // the execution fails (or panics) as a unit: every
@@ -326,11 +334,12 @@ impl Shared {
                             answered.push((waiters, riders));
                         }
                     }
-                    for (waiters, riders) in answered {
-                        for w in waiters.into_iter().chain(riders) {
-                            self.respond(w, Err(err.clone()));
-                        }
-                    }
+                    self.respond_many(answered.into_iter().flat_map(|(waiters, riders)| {
+                        waiters
+                            .into_iter()
+                            .chain(riders)
+                            .map(|w| (w, Err(err.clone())))
+                    }));
                 }
             }
         }

@@ -68,8 +68,8 @@ pub fn boundary_gap_series(
 ///
 /// The root of a depth-`k` tree has `b` children, each the root of a
 /// depth-`k−1` tree, so the occupation ratio satisfies
-/// `R_k = λ/(1+R_{k−1})^b` with `R_0 = ∞` (occupied leaf) or `λ`...
-/// — for pinned leaves `R_0 = ∞` (occupied) or `0` (vacant).
+/// `R_k = λ/(1+R_{k−1})^b`, seeded at the pinned leaves with
+/// `R_0 = ∞` (occupied) or `R_0 = 0` (vacant).
 pub fn tree_root_occupation(b: usize, depth: usize, lambda: f64, boundary: bool) -> f64 {
     let mut r = if boundary { f64::INFINITY } else { 0.0 };
     for _ in 0..depth {
