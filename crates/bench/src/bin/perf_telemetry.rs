@@ -38,7 +38,12 @@
 //! section prices the two-pass chain-rule counter (anchor / marginals
 //! phase split at widths 1 and 4, `count_chain_w1_ns` gated) and the
 //! annealed sampling-backed variant (certified error and samples per
-//! level).
+//! level). A `backends` section prices `Task::SampleApprox` per
+//! sampling backend — chain-rule vs. Glauber dynamics at widths 1 and
+//! 4, with the exact-JVV width-1 cost as reference; only
+//! `glauber_sample_w1_ns` is gated against the baseline, and an
+//! in-binary gate requires Glauber to stay strictly below exact JVV at
+//! width 1.
 //!
 //! The JSON is hand-rolled (the container vendors no serde); the
 //! baseline reader scans for `"key": number` pairs regardless of
@@ -50,7 +55,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lds_bench::scoped_par_map;
-use lds_engine::{Engine, ModelSpec, RunReport, Task, Topology};
+use lds_engine::{Backend, Engine, ModelSpec, RunReport, SweepBudget, Task, Topology};
 use lds_graph::generators;
 use lds_net::{Client, EngineSpec, NetConfig, NetServer, Op, Wire};
 use lds_runtime::ThreadPool;
@@ -579,6 +584,61 @@ fn main() {
         ));
     }
 
+    // --- backends section: what serving `Task::SampleApprox` costs per
+    // sampling backend on the reference workload (hardcore λ = 1 on
+    // cycle(10) — the same instance the engine batch metric uses), at
+    // widths 1 and 4. The chain-rule sampler pays one radius-t ball
+    // enumeration per node; Glauber pays `sweeps` passes of factor-table
+    // lookups per site and no oracle queries at all — that gap is the
+    // point of the backend, and `glauber_sample_w1_ns` is gated so it
+    // cannot quietly erode. The width-1 exact-JVV cost rides along as
+    // the in-binary reference: Glauber must undercut it (see the
+    // backends gate below). ---
+    let mut backends: Vec<(String, f64)> = Vec::new();
+    let mut glauber_w1 = f64::INFINITY;
+    let mut jvv_w1 = f64::INFINITY;
+    for width in [1usize, 4] {
+        let build = |backend: Backend| {
+            Engine::builder()
+                .model(ModelSpec::Hardcore { lambda: 1.0 })
+                .graph(generators::cycle(10))
+                .epsilon(0.01)
+                .threads(width)
+                .backend(backend)
+                .build()
+                .expect("in regime")
+        };
+        let exact = build(Backend::Exact);
+        let glauber = build(Backend::Glauber {
+            sweeps: SweepBudget::Auto,
+        });
+        let seeds: Vec<u64> = (0..8).collect();
+        // both paths are deterministic identical work per rep; the
+        // width-1 Glauber cost is gated, so buy stability with reps
+        let chain_ns = measure(samples.max(21), seeds.len(), || {
+            std::hint::black_box(exact.run_batch(Task::SampleApprox, &seeds).unwrap());
+        });
+        let glauber_ns = measure(samples.max(21), seeds.len(), || {
+            std::hint::black_box(glauber.run_batch(Task::SampleApprox, &seeds).unwrap());
+        });
+        backends.push((format!("approx_chain_w{width}_ns"), chain_ns));
+        backends.push((format!("glauber_sample_w{width}_ns"), glauber_ns));
+        if width == 1 {
+            glauber_w1 = glauber_ns;
+            let jvv_ns = measure(samples.max(21), seeds.len(), || {
+                std::hint::black_box(exact.run_batch(Task::SampleExact, &seeds).unwrap());
+            });
+            jvv_w1 = jvv_ns;
+            backends.push(("jvv_exact_sample_w1_ns".to_string(), jvv_ns));
+            let sweeps = glauber
+                .run(Task::SampleApprox)
+                .expect("in regime")
+                .glauber_sweeps()
+                .expect("Glauber served") as f64;
+            backends.push(("glauber_sweeps_resolved".to_string(), sweeps));
+        }
+    }
+
     let sha = git_sha();
     // all sections flattened, for the gates below
     let all_metrics: Vec<(String, f64)> = metrics
@@ -587,6 +647,7 @@ fn main() {
         .chain(sharding.iter())
         .chain(net.iter())
         .chain(count.iter())
+        .chain(backends.iter())
         .cloned()
         .collect();
     let json = render_json(
@@ -598,6 +659,7 @@ fn main() {
             ("sharding", &sharding[..]),
             ("net", &net[..]),
             ("count", &count[..]),
+            ("backends", &backends[..]),
         ],
     );
     std::fs::write(&out_path, &json).expect("write summary");
@@ -667,6 +729,25 @@ fn main() {
         println!("serve-w4 gate: coalesced {co4:.0} ns vs one-at-a-time {one4:.0} ns — ok");
     }
 
+    // Backends gate: on the reference SampleApprox workload at width 1,
+    // Glauber must undercut the exact-JVV sampler. The whole point of
+    // the backend is skipping oracle queries — if a sweep of factor
+    // lookups stops beating a radius-t ball enumeration per node plus
+    // rejection restarts, the backend regressed (or the auto sweep plan
+    // exploded). This is a strict inequality, no noise allowance: on
+    // this workload the gap is multiples, not percent.
+    if glauber_w1 >= jvv_w1 {
+        eprintln!(
+            "FAIL backends gate: glauber {glauber_w1:.0} ns per sample is not below exact JVV {jvv_w1:.0} ns at width 1"
+        );
+        failed = true;
+    } else {
+        println!(
+            "backends gate: glauber {glauber_w1:.0} ns vs exact JVV {jvv_w1:.0} ns per sample ({:.1}x) — ok",
+            jvv_w1 / glauber_w1
+        );
+    }
+
     // Regression gate against the committed baseline. Only the
     // allowlisted lower-is-better metrics are ever gated: the emitted
     // JSON also carries width-4 ns numbers (synchronization-bound,
@@ -683,6 +764,7 @@ fn main() {
         "serve_coalesced_w1_ns",
         "net_roundtrip_w1_ns",
         "count_chain_w1_ns",
+        "glauber_sample_w1_ns",
     ];
     if let Some(path) = baseline_path {
         match std::fs::read_to_string(&path) {

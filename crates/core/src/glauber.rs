@@ -1,0 +1,479 @@
+//! Local Glauber dynamics (Fischer–Ghaffari, arXiv:1802.06676) as a
+//! chromatic [`ScanKernel`] sweep — the engine's second sampling backend.
+//!
+//! The classic single-site Glauber dynamics resamples one uniformly
+//! random site per step from its exact conditional distribution; the
+//! *local* variant updates many non-adjacent sites per round, so the
+//! whole chain runs in `O(log n)` LOCAL rounds inside the uniqueness
+//! regime. This module implements the **systematic-scan** form of that
+//! chain on the workspace's existing machinery: one sweep is one
+//! chromatic scan ([`scheduler::run_kernel_chromatic_with_stats`]) in
+//! which every free node, visited in schedule order, resamples its spin
+//! from the conditional distribution given its current neighborhood —
+//! sites of the same color are distance `≥ locality + 2` apart, so the
+//! parallel cluster simulation is execution-equivalent to the sequential
+//! scan and the output is **bit-identical at any pool width**.
+//!
+//! Contrast with [`crate::baselines::glauber_dynamics`], the sequential
+//! random-site baseline: same per-site update rule, but that chain picks
+//! sites with a global RNG and is inherently serial, while this one
+//! draws each site's randomness from [`Network::node_rng`] (per node,
+//! per sweep) and parallelizes across color classes.
+//!
+//! Each update touches only the factors containing the site — a table
+//! lookup per factor — so a sweep costs `O(n · q · deg)` arithmetic with
+//! **no inference-oracle queries at all**. That is the whole appeal over
+//! the chain-rule sampler (Theorem 3.2) and local-JVV (Theorem 4.2) in
+//! the high-volume `SampleApprox` regime: those pay a radius-`t` ball
+//! enumeration per node, Glauber pays `sweeps` table lookups.
+//!
+//! The chain starts from the greedy feasible extension of the instance
+//! pinning (Remark 2.3's sequential local oblivious construction), run
+//! as a chromatic scan itself so the start state is deterministic and
+//! width-independent. Mixing is certified by
+//! [`crate::regime::glauber_plan`] from the model's SSM decay rate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lds_gibbs::{distribution, Config, PartialConfig, Value};
+use lds_graph::NodeId;
+use lds_localnet::local::LocalRun;
+use lds_localnet::scheduler::{self, ChromaticSchedule, ShardingStats};
+use lds_localnet::slocal::{ScanKernel, SlocalKernel};
+use lds_localnet::Network;
+use lds_runtime::ThreadPool;
+
+/// Base randomness stream tag for Glauber sweeps: sweep `s` draws each
+/// node's randomness from stream `STREAM_GLAUBER + s`. Stream tags pack
+/// into the low 20 bits of [`Network::node_seed`]'s derivation, so the
+/// base (plus any realistic sweep count) stays below `2^20` while
+/// keeping clear of the sampler/JVV tags (1–3) and the runtime's
+/// decomposition/node/workload tags.
+pub const STREAM_GLAUBER: u64 = 0x4_0000;
+
+/// The greedy ground pass: pin each free node, in schedule order, to the
+/// first value keeping the partial configuration locally feasible — the
+/// same Remark 2.3 construction [`crate::baselines::glauber_dynamics`]
+/// starts from, here as a pinning-extension kernel so the chromatic
+/// runner makes it width-independent. Reads pins only within the model
+/// locality of the processed node (the fully-pinned factors it checks
+/// all touch that node's ball).
+#[derive(Clone, Debug)]
+struct GreedyGroundKernel;
+
+impl SlocalKernel for GreedyGroundKernel {
+    fn process(&self, net: &Network, sigma: &PartialConfig, v: NodeId) -> (Value, bool) {
+        let model = net.instance().model();
+        let feasible = (0..model.alphabet_size())
+            .map(Value::from_index)
+            .find(|&c| model.is_locally_feasible(&sigma.with_pin(v, c)));
+        match feasible {
+            Some(c) => (c, false),
+            None => (Value(0), true),
+        }
+    }
+}
+
+/// Per-node effect of a Glauber sweep: the resampled value and whether
+/// it differs from the value the site held entering the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct GlauberUpdate {
+    /// The value the site holds after its update.
+    pub value: Value,
+    /// `true` if the update changed the site's value.
+    pub changed: bool,
+}
+
+/// Result of one full Glauber sweep.
+#[derive(Clone, Debug)]
+pub struct GlauberSweepRun {
+    /// The configuration after the sweep.
+    pub config: Config,
+    /// Free sites resampled by the sweep.
+    pub resampled: usize,
+    /// Resampled sites whose value changed.
+    pub changed: usize,
+}
+
+/// One systematic-scan Glauber sweep as a [`ScanKernel`].
+///
+/// The scan state is the full current configuration; processing a free
+/// node replaces its value with a draw from the exact conditional
+/// distribution given its neighborhood (computable from the factors
+/// touching the node only — locality `ℓ`, the model's factor diameter),
+/// using the node's private randomness for this sweep's stream. Pinned
+/// nodes are never updated.
+#[derive(Clone, Debug)]
+pub struct GlauberKernel {
+    initial: Arc<Config>,
+    stream: u64,
+}
+
+impl GlauberKernel {
+    /// A sweep kernel starting from `initial` and drawing node
+    /// randomness from `stream` (one distinct stream per sweep).
+    pub fn new(initial: Arc<Config>, stream: u64) -> Self {
+        GlauberKernel { initial, stream }
+    }
+}
+
+impl ScanKernel for GlauberKernel {
+    type State = Config;
+    type Effect = GlauberUpdate;
+    type Run = GlauberSweepRun;
+
+    fn init(&self, _net: &Network) -> Config {
+        (*self.initial).clone()
+    }
+
+    fn process(&self, net: &Network, state: &mut Config, v: NodeId) -> Option<GlauberUpdate> {
+        let model = net.instance().model();
+        if net.instance().pinning().is_pinned(v) {
+            return None;
+        }
+        let q = model.alphabet_size();
+        let mut weights = vec![0.0f64; q];
+        for (c, w) in weights.iter_mut().enumerate() {
+            let mut local = 1.0f64;
+            for &fi in model.factors_touching(v) {
+                let f = &model.factors()[fi];
+                local *= f
+                    .eval_partial(|s| {
+                        Some(if s == v {
+                            Value::from_index(c)
+                        } else {
+                            state.get(s)
+                        })
+                    })
+                    .expect("full config");
+                if local == 0.0 {
+                    break;
+                }
+            }
+            *w = local;
+        }
+        let current = state.get(v);
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // frozen site (cannot happen from a feasible state): keep the
+            // current value without consuming randomness
+            return Some(GlauberUpdate {
+                value: current,
+                changed: false,
+            });
+        }
+        let mut rng = net.node_rng(v, self.stream);
+        let value = distribution::sample_from_marginal(&weights, &mut rng);
+        state.set(v, value);
+        Some(GlauberUpdate {
+            value,
+            changed: value != current,
+        })
+    }
+
+    fn apply(&self, state: &mut Config, v: NodeId, effect: &GlauberUpdate) {
+        state.set(v, effect.value);
+    }
+
+    /// Halo restriction of a dense configuration: only the halo's slots
+    /// are copied. Sound because an update reads the factors touching
+    /// the processed node (inside the halo by the schedule construction)
+    /// and writes only the node itself.
+    fn project(&self, state: &Config, halo: &[NodeId]) -> Config {
+        let mut p = Config::constant(state.len(), Value(0));
+        for &v in halo {
+            p.set(v, state.get(v));
+        }
+        p
+    }
+
+    fn project_into(
+        &self,
+        state: &Config,
+        halo: &[NodeId],
+        scratch: &mut Config,
+        stale: &[NodeId],
+    ) {
+        for &v in stale {
+            scratch.set(v, Value(0));
+        }
+        for &v in halo {
+            scratch.set(v, state.get(v));
+        }
+    }
+
+    fn projected_bytes(&self, _n: usize, halo: usize) -> u64 {
+        (halo * core::mem::size_of::<Value>()) as u64
+    }
+
+    fn finish(
+        &self,
+        _net: &Network,
+        state: Config,
+        effects: Vec<(NodeId, GlauberUpdate)>,
+    ) -> GlauberSweepRun {
+        let resampled = effects.len();
+        let changed = effects.iter().filter(|(_, e)| e.changed).count();
+        GlauberSweepRun {
+            config: state,
+            resampled,
+            changed,
+        }
+    }
+}
+
+/// Mixing diagnostics of a [`sample_glauber_with`] execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GlauberStats {
+    /// Full sweeps executed.
+    pub sweeps: usize,
+    /// Total single-site resamples across all sweeps.
+    pub site_updates: u64,
+    /// Sites whose value changed in the final sweep — a cheap mixing
+    /// diagnostic (a well-mixed chain keeps flipping at its stationary
+    /// flip rate; a frozen chain reports 0).
+    pub last_sweep_changes: usize,
+    /// The schedule locality used for the sweeps (the model's factor
+    /// diameter).
+    pub locality: usize,
+}
+
+/// Per-phase wall-clock of a [`sample_glauber_with`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct GlauberTimings {
+    /// Decomposition + chromatic-schedule construction.
+    pub schedule: Duration,
+    /// The greedy ground pass.
+    pub ground: Duration,
+    /// All Glauber sweeps.
+    pub sweeps: Duration,
+    /// Halo/bytes-cloned telemetry summed over the ground pass and all
+    /// sweeps.
+    pub sharding: ShardingStats,
+}
+
+/// Runs `sweeps` systematic-scan Glauber sweeps from the greedy ground
+/// state, all sharing one chromatic schedule (locality = the model's
+/// factor diameter) — the local Glauber dynamics of Fischer–Ghaffari in
+/// this workspace's scan form. Same-color clusters are simulated
+/// concurrently on `pool`; the result is **bit-identical to the
+/// sequential execution at any pool width**.
+///
+/// The reported round count charges `schedule.rounds` LOCAL rounds per
+/// chromatic pass (the ground pass plus each sweep), the cost of the
+/// Lemma 3.1 simulation.
+pub fn sample_glauber_with(
+    net: &Network,
+    sweeps: usize,
+    stream: u64,
+    pool: &ThreadPool,
+) -> (
+    LocalRun<Value>,
+    ChromaticSchedule,
+    GlauberStats,
+    GlauberTimings,
+) {
+    let n = net.node_count();
+    let locality = net.instance().model().locality().max(1);
+    let start = Instant::now();
+    let schedule = scheduler::chromatic_schedule(net, locality, stream);
+    let schedule_wall = start.elapsed();
+
+    let start = Instant::now();
+    let (ground, mut sharding) =
+        scheduler::run_kernel_chromatic_with_stats(net, &GreedyGroundKernel, &schedule, pool);
+    let ground_wall = start.elapsed();
+
+    let mut config = Config::from_values(ground.outputs);
+    let mut stats = GlauberStats {
+        sweeps,
+        site_updates: 0,
+        last_sweep_changes: 0,
+        locality,
+    };
+    let start = Instant::now();
+    for s in 0..sweeps {
+        let kernel = GlauberKernel::new(Arc::new(config), stream_for_sweep(s));
+        let (run, pass) = scheduler::run_kernel_chromatic_with_stats(net, &kernel, &schedule, pool);
+        sharding.merge(&pass);
+        stats.site_updates += run.resampled as u64;
+        stats.last_sweep_changes = run.changed;
+        config = run.config;
+    }
+    let sweeps_wall = start.elapsed();
+
+    let failures: Vec<bool> = (0..n)
+        .map(|v| ground.failures[v] || schedule.failed[v])
+        .collect();
+    let rounds = schedule.rounds * (sweeps + 1);
+    (
+        LocalRun {
+            outputs: config.values().to_vec(),
+            failures,
+            rounds,
+        },
+        schedule,
+        stats,
+        GlauberTimings {
+            schedule: schedule_wall,
+            ground: ground_wall,
+            sweeps: sweeps_wall,
+            sharding,
+        },
+    )
+}
+
+/// The randomness stream for sweep `s`: distinct per sweep so each sweep
+/// re-draws fresh node randomness. Must stay below the `2^20` stream-tag
+/// width of [`Network::node_seed`] or (node, sweep) pairs would alias
+/// across nodes.
+fn stream_for_sweep(s: usize) -> u64 {
+    STREAM_GLAUBER + s as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_gibbs::metrics;
+    use lds_gibbs::models::{coloring, hardcore};
+    use lds_gibbs::PartialConfig;
+    use lds_graph::generators;
+    use lds_localnet::Instance;
+
+    fn hc_net(n: usize, lambda: f64, seed: u64) -> Network {
+        let g = generators::cycle(n);
+        Network::new(Instance::unconditioned(hardcore::model(&g, lambda)), seed)
+    }
+
+    #[test]
+    fn outputs_are_feasible_configurations() {
+        for seed in 0..20 {
+            let net = hc_net(9, 1.5, seed);
+            let (run, _, _, _) = sample_glauber_with(&net, 6, 0, &ThreadPool::sequential());
+            assert!(run.succeeded(), "seed {seed}");
+            let config = Config::from_values(run.outputs);
+            assert!(
+                net.instance().model().weight(&config) > 0.0,
+                "seed {seed} produced an infeasible configuration"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_pool_widths() {
+        for seed in [0u64, 3, 11] {
+            let net = hc_net(14, 1.0, seed);
+            let (reference, _, ref_stats, _) =
+                sample_glauber_with(&net, 5, 0, &ThreadPool::sequential());
+            for threads in [2usize, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let (run, _, stats, _) = sample_glauber_with(&net, 5, 0, &pool);
+                assert_eq!(
+                    run.outputs, reference.outputs,
+                    "width {threads} seed {seed}"
+                );
+                assert_eq!(run.failures, reference.failures);
+                assert_eq!(stats, ref_stats, "width {threads} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_instance_pinning() {
+        let g = generators::cycle(8);
+        let model = hardcore::model(&g, 1.0);
+        let mut tau = PartialConfig::empty(8);
+        tau.pin(NodeId(0), Value(1));
+        let inst = Instance::new(model, tau).unwrap();
+        for seed in 0..10 {
+            let net = Network::new(inst.clone(), seed);
+            let (run, _, _, _) = sample_glauber_with(&net, 8, 0, &ThreadPool::sequential());
+            assert_eq!(run.outputs[0], Value(1));
+            assert_eq!(run.outputs[1], Value(0), "neighbor of pinned-occupied");
+        }
+    }
+
+    #[test]
+    fn colorings_stay_proper_through_sweeps() {
+        let g = generators::cycle(7);
+        let model = coloring::model(&g, 4);
+        for seed in 0..10 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let (run, _, _, _) = sample_glauber_with(&net, 6, 0, &ThreadPool::sequential());
+            let config = Config::from_values(run.outputs);
+            assert!(
+                coloring::is_proper(&g, &config),
+                "seed {seed}: improper coloring"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_the_target_marginal() {
+        let g = generators::cycle(6);
+        let model = hardcore::model(&g, 1.0);
+        let trials = 20_000usize;
+        let mut occupied = 0usize;
+        for seed in 0..trials as u64 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let (run, _, _, _) = sample_glauber_with(&net, 24, 0, &ThreadPool::sequential());
+            if run.outputs[2] == Value(1) {
+                occupied += 1;
+            }
+        }
+        let est = occupied as f64 / trials as f64;
+        let exact = distribution::marginal(&model, &PartialConfig::empty(6), NodeId(2)).unwrap()[1];
+        assert!(
+            (est - exact).abs() < 0.015,
+            "glauber {est:.4} vs exact {exact:.4}"
+        );
+    }
+
+    #[test]
+    fn distinct_sweeps_draw_distinct_randomness() {
+        // a 1-sweep and a 2-sweep run must disagree on some seed if the
+        // second sweep draws fresh randomness
+        let mut differs = false;
+        for seed in 0..20 {
+            let net = hc_net(10, 1.5, seed);
+            let (one, _, _, _) = sample_glauber_with(&net, 1, 0, &ThreadPool::sequential());
+            let (two, _, _, _) = sample_glauber_with(&net, 2, 0, &ThreadPool::sequential());
+            if one.outputs != two.outputs {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "second sweep never changed the configuration");
+    }
+
+    #[test]
+    fn stats_count_site_updates_and_locality() {
+        let net = hc_net(10, 1.0, 5);
+        let (_, schedule, stats, _) = sample_glauber_with(&net, 3, 0, &ThreadPool::sequential());
+        assert_eq!(stats.sweeps, 3);
+        assert_eq!(stats.site_updates, 30, "10 free sites x 3 sweeps");
+        assert_eq!(stats.locality, 1);
+        assert!(schedule.rounds > 0);
+    }
+
+    #[test]
+    fn tv_distance_to_stationarity_is_small() {
+        // joint-distribution check on a small cycle, mirroring the
+        // chain-rule sampler's test
+        let n = 5usize;
+        let g = generators::cycle(n);
+        let model = hardcore::model(&g, 1.0);
+        let trials = 40_000usize;
+        let mut samples = Vec::with_capacity(trials);
+        for seed in 0..trials as u64 {
+            let net = Network::new(Instance::unconditioned(model.clone()), seed);
+            let (run, _, _, _) = sample_glauber_with(&net, 24, 0, &ThreadPool::sequential());
+            samples.push(Config::from_values(run.outputs));
+        }
+        let emp = metrics::empirical_distribution(&samples);
+        let exact = distribution::joint_distribution(&model, &PartialConfig::empty(n)).unwrap();
+        let tv = metrics::tv_distance_joint(&emp, &exact);
+        assert!(tv < 0.05, "empirical TV {tv}");
+    }
+}

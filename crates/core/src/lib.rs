@@ -15,6 +15,7 @@
 //! | Chain-rule counting from inference (the "counting" of the title) | [`counting`] |
 //! | Round-complexity formulas for the applications | [`complexity`] |
 //! | Baselines: global chain-rule sampling, Glauber dynamics | [`baselines`] |
+//! | Local Glauber dynamics (Fischer–Ghaffari, arXiv:1802.06676) as a chromatic-scan backend | [`glauber`] |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 pub mod baselines;
 pub mod complexity;
 pub mod counting;
+pub mod glauber;
 pub mod inference;
 pub mod jvv;
 pub mod regime;
@@ -54,6 +56,7 @@ pub mod sampling_to_inference;
 pub mod ssm_inference;
 pub mod stats;
 
+pub use glauber::{GlauberKernel, GlauberStats};
 pub use inference::LocalInference;
 pub use jvv::{JvvOutcome, JvvStats, LocalJvv};
 pub use sampler::SequentialSampler;

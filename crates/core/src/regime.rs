@@ -209,6 +209,103 @@ pub fn coloring(g: &Graph, q: usize) -> Result<RegimeCheck, OutOfRegime> {
     })
 }
 
+/// Ceiling on the SSM decay rate up to which local Glauber dynamics is
+/// certified to mix in `O(log n)` sweeps. Below the ceiling, one-step
+/// contraction gives `d_TV ≤ n·rateᵀ`, so `T = ln(n/δ)/(1−rate)` sweeps
+/// suffice; as `rate → 1` the certified budget diverges, and past the
+/// ceiling we refuse to certify at all (the builder's per-model regime
+/// checks only require `rate < 1`, so a model can be in the sampling
+/// regime yet outside the Glauber certificate — e.g. a caller-supplied
+/// two-spin rate of `0.995`).
+pub const GLAUBER_RATE_CEILING: f64 = 0.99;
+
+/// A certified local-Glauber execution plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GlauberPlan {
+    /// Sweeps sufficient for `d_TV ≤ δ` under one-step contraction.
+    pub sweeps: usize,
+    /// Distance of the decay rate from [`GLAUBER_RATE_CEILING`].
+    pub margin: f64,
+}
+
+/// Certifies local Glauber dynamics for an `n`-node instance at decay
+/// rate `rate` and total-variation budget `δ`: the sweep budget is
+/// `⌈ln(n/δ)/(1−rate)⌉` (one-step contraction `d_TV ≤ n·e^{−(1−rate)·T}`
+/// from a worst-case start), clamped to at least one sweep.
+///
+/// # Errors
+///
+/// Returns [`OutOfRegime`] when `rate ≥` [`GLAUBER_RATE_CEILING`] — the
+/// regime where the contraction argument certifies nothing useful.
+pub fn glauber_plan(rate: f64, n: usize, delta: f64) -> Result<GlauberPlan, OutOfRegime> {
+    if rate.is_nan() || rate >= GLAUBER_RATE_CEILING {
+        return Err(OutOfRegime {
+            rate,
+            condition: format!(
+                "local Glauber dynamics needs decay rate < {GLAUBER_RATE_CEILING}, got {rate:.4}"
+            ),
+            computed: rate,
+            critical: GLAUBER_RATE_CEILING,
+        });
+    }
+    let rate = rate.max(0.0);
+    let n = n.max(2) as f64;
+    let delta = delta.clamp(f64::MIN_POSITIVE, 0.5);
+    let sweeps = ((n / delta).ln() / (1.0 - rate)).ceil().max(1.0) as usize;
+    Ok(GlauberPlan {
+        sweeps,
+        margin: GLAUBER_RATE_CEILING - rate,
+    })
+}
+
+/// The `Backend::Auto` decision for approximate-sampling tasks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AutoBackend {
+    /// Serve with local Glauber dynamics under the given certified plan.
+    Glauber(GlauberPlan),
+    /// Serve with the oracle-driven chain-rule sampler, and why.
+    Exact {
+        /// Human-readable reason Glauber was not selected.
+        reason: String,
+    },
+}
+
+/// Picks the approximate-sampling backend from `(ε, δ, rate)`: Glauber
+/// when its mixing certificate exists ([`glauber_plan`]) **and** the
+/// certified sweep budget undercuts the chain-rule sampler's per-node
+/// cost proxy — each of the `n` chain-rule nodes pays an oracle ball of
+/// radius `t = ln(1/η)/ln(1/rate)` at per-node error
+/// `η = min(ε, δ)/n`, while Glauber pays `sweeps` table lookups per
+/// node. With the quadratic ball proxy `t²`, Glauber wins everywhere
+/// the certificate holds except in pathological corners, so in practice
+/// `Auto` reads as *Glauber when certified, chain-rule otherwise*.
+pub fn auto_sampling_backend(rate: f64, n: usize, epsilon: f64, delta: f64) -> AutoBackend {
+    let plan = match glauber_plan(rate, n, delta) {
+        Ok(plan) => plan,
+        Err(err) => {
+            return AutoBackend::Exact {
+                reason: err.to_string(),
+            }
+        }
+    };
+    let per_node = (epsilon.min(delta) / n.max(1) as f64).clamp(f64::MIN_POSITIVE, 0.5);
+    let radius = ((1.0 / per_node).ln() / (1.0 / rate.clamp(0.01, 1.0)).ln())
+        .ceil()
+        .max(1.0);
+    let chain_cost = (radius * radius).max(8.0);
+    if plan.sweeps as f64 <= chain_cost {
+        AutoBackend::Glauber(plan)
+    } else {
+        AutoBackend::Exact {
+            reason: format!(
+                "certified Glauber budget ({} sweeps) exceeds the chain-rule cost proxy \
+                 ({chain_cost:.0})",
+                plan.sweeps
+            ),
+        }
+    }
+}
+
 /// Counts triangles by checking, for each node, adjacent pairs among its
 /// higher-id neighbors. Only used on the rejection path.
 fn count_triangles(g: &Graph) -> usize {
@@ -334,6 +431,40 @@ mod tests {
         let err = coloring(&t, 6).unwrap_err();
         assert_eq!(err.computed, 6.0);
         assert!((err.critical - complexity::alpha_star() * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glauber_plan_certifies_below_the_ceiling() {
+        let plan = glauber_plan(0.5, 10, 0.05).unwrap();
+        assert!(plan.sweeps >= 1);
+        assert!((plan.margin - (GLAUBER_RATE_CEILING - 0.5)).abs() < 1e-12);
+        // monotone: tighter δ and larger n need more sweeps
+        assert!(glauber_plan(0.5, 10, 0.001).unwrap().sweeps > plan.sweeps);
+        assert!(glauber_plan(0.5, 10_000, 0.05).unwrap().sweeps > plan.sweeps);
+        assert!(glauber_plan(0.9, 10, 0.05).unwrap().sweeps > plan.sweeps);
+    }
+
+    #[test]
+    fn glauber_plan_rejects_past_the_ceiling() {
+        for rate in [GLAUBER_RATE_CEILING, 0.995, 1.0, 1.5, f64::NAN] {
+            let err = glauber_plan(rate, 10, 0.05).unwrap_err();
+            assert_eq!(err.critical, GLAUBER_RATE_CEILING);
+            assert!(err.condition.contains("Glauber"), "{}", err.condition);
+        }
+    }
+
+    #[test]
+    fn auto_backend_is_glauber_when_certified() {
+        match auto_sampling_backend(0.5, 12, 0.01, 0.05) {
+            AutoBackend::Glauber(plan) => assert!(plan.sweeps >= 1),
+            other => panic!("expected Glauber, got {other:?}"),
+        }
+        match auto_sampling_backend(0.995, 12, 0.01, 0.05) {
+            AutoBackend::Exact { reason } => {
+                assert!(reason.contains("Glauber"), "{reason}")
+            }
+            other => panic!("expected Exact, got {other:?}"),
+        }
     }
 
     #[test]

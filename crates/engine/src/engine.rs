@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lds_core::sampling_to_inference::{self, SampledMarginals};
-use lds_core::{complexity, counting, jvv, regime, sampler};
+use lds_core::{complexity, counting, glauber, jvv, regime, sampler};
 use lds_gibbs::models::hypergraph_matching::HypergraphMatchingInstance;
 use lds_gibbs::models::ising::IsingParams;
 use lds_gibbs::models::matching::MatchingInstance;
@@ -16,9 +16,10 @@ use lds_localnet::{Instance, Network};
 use lds_oracle::{DecayRate, TwoSpinSawOracle};
 use lds_runtime::{Phase, ThreadPool};
 
+use crate::backend::{self, ApproxPath, Backend, ServedBackend, SweepBudget};
 use crate::error::EngineError;
 use crate::oracle::{BoostedEnumeration, OracleHandle, TaskOracle};
-use crate::report::{RunReport, SampleDecode, Task, TaskOutput};
+use crate::report::{MarginalsMethod, MarginalsReport, RunReport, SampleDecode, Task, TaskOutput};
 use crate::spec::{ModelSpec, Topology};
 
 /// How a carrier-graph configuration maps back to the input topology.
@@ -74,9 +75,16 @@ struct EngineCore {
     epsilon: f64,
     delta: f64,
     seed: u64,
+    /// The requested sampling backend.
+    backend: Backend,
+    /// How `SampleApprox` executes, resolved once at build time; `Err`
+    /// records the failed Glauber certificate of a forced out-of-regime
+    /// Glauber request (surfaced as
+    /// [`EngineError::BackendUnavailable`] when the task is requested).
+    approx: Result<ApproxPath, regime::OutOfRegime>,
     /// Stable identity of everything that determines task outputs
-    /// (spec, topology, pinning, ε, δ) — the engine half of a serving
-    /// idempotency key; see [`Engine::fingerprint`].
+    /// (spec, topology, pinning, ε, δ, backend) — the engine half of a
+    /// serving idempotency key; see [`Engine::fingerprint`].
     fingerprint: u64,
     /// One persistent pool shared (via `Arc`) by batch fan-out,
     /// chromatic kernels, and boosting trials — workers spawn once at
@@ -101,6 +109,7 @@ pub struct EngineBuilder {
     delta: Option<f64>,
     seed: u64,
     threads: Option<usize>,
+    backend: Option<Backend>,
     /// First invalid setter argument, recorded **at set time** so the
     /// rejection names the call that caused it instead of surfacing as
     /// a downstream regime error or panic; `build()` returns it.
@@ -199,8 +208,8 @@ impl EngineBuilder {
     /// Sets the width of the engine's thread pool: `run_batch` fans
     /// seeds across it, the chromatic scheduler simulates same-color
     /// clusters on it, and the per-vertex oracle trials of
-    /// [`Engine::marginals_exact_all`] and the Monte Carlo executions of
-    /// [`Engine::marginals_by_sampling`] run on it.
+    /// [`Engine::marginals`] and the Monte Carlo executions of
+    /// [`Engine::marginals_sampled`] run on it.
     ///
     /// Every result is **bit-identical regardless of `n`** (randomness
     /// is derived per task, never shared — see `lds-runtime`);
@@ -217,6 +226,31 @@ impl EngineBuilder {
             self.reject("threads", "the pool needs at least one thread".into());
         }
         self.threads = Some(n);
+        self
+    }
+
+    /// Sets the sampling backend serving [`Task::SampleApprox`]
+    /// (default [`Backend::Exact`], the oracle-driven chain-rule path —
+    /// exactly the pre-backend behavior).
+    ///
+    /// Validated **at set time** like `ε`/`δ`/`threads`: a zero fixed
+    /// sweep budget makes [`EngineBuilder::build`] fail with
+    /// [`EngineError::InvalidParameter`] naming `backend` (first
+    /// invalid setter wins). Whether a Glauber request has a mixing
+    /// certificate is checked at build time and surfaced as
+    /// [`EngineError::BackendUnavailable`] only when `SampleApprox` is
+    /// actually requested — the engine still serves every other task.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        if let Backend::Glauber {
+            sweeps: SweepBudget::Fixed(0),
+        } = backend
+        {
+            self.reject(
+                "backend",
+                "a fixed Glauber sweep budget needs at least one sweep".into(),
+            );
+        }
+        self.backend = Some(backend);
         self
     }
 
@@ -361,6 +395,8 @@ impl EngineBuilder {
             }
             None => PartialConfig::empty(carrier_n),
         };
+        let backend = self.backend.unwrap_or_default();
+        let approx = backend::resolve_backend(backend, rate, carrier_n, epsilon, delta);
         // the engine half of the serving idempotency key: everything
         // that determines a (Task, seed) output, hashed once at build
         let fingerprint = {
@@ -370,7 +406,10 @@ impl EngineBuilder {
                 h = crate::spec::mix(h, (v.index() as u64) << 32 | value.index() as u64);
             }
             h = crate::spec::mix(h, epsilon.to_bits());
-            crate::spec::mix(h, delta.to_bits())
+            h = crate::spec::mix(h, delta.to_bits());
+            let (tag, budget) = backend::fingerprint_words(backend);
+            h = crate::spec::mix(h, tag);
+            crate::spec::mix(h, budget)
         };
         let instance = Arc::new(Instance::new(model, pinning)?);
 
@@ -386,6 +425,8 @@ impl EngineBuilder {
                 epsilon,
                 delta,
                 seed: self.seed,
+                backend,
+                approx,
                 fingerprint,
                 pool,
                 host_lanes: std::thread::available_parallelism()
@@ -544,6 +585,14 @@ impl Engine {
         self.core.fingerprint
     }
 
+    /// The sampling backend this engine was built with (as requested:
+    /// [`Backend::Auto`] is reported as `Auto`, not as its resolution).
+    /// The backend that actually served a run is in
+    /// [`RunReport::backend`].
+    pub fn backend(&self) -> Backend {
+        self.core.backend
+    }
+
     /// Width of the engine's thread pool.
     pub fn threads(&self) -> usize {
         self.core.pool.threads()
@@ -619,30 +668,91 @@ impl Engine {
     /// (the full inference table) — the independent per-vertex oracle
     /// trials (boosted frontier pinning + exact ball marginal) fan out
     /// across the engine's pool via
-    /// [`lds_oracle::marginals_mul_batch`], in vertex order.
-    pub fn marginals_exact_all(&self) -> Vec<Vec<f64>> {
+    /// [`lds_oracle::marginals_mul_batch`], in vertex order. Mirrors
+    /// [`RunReport`]: the table rides in a [`MarginalsReport`] with the
+    /// method ([`MarginalsMethod::Exact`]), the oracle gather radius as
+    /// the round count, and the phase timing.
+    pub fn marginals(&self) -> MarginalsReport {
+        let start = Instant::now();
         let model = self.core.instance.model();
         let vertices: Vec<NodeId> = (0..model.node_count()).map(NodeId::from_index).collect();
-        lds_oracle::marginals_mul_batch(
+        let marginals = lds_oracle::marginals_mul_batch(
             &self.core.oracle_handle(),
             model,
             self.core.instance.pinning(),
             &vertices,
             self.core.epsilon,
             &self.core.pool,
-        )
+        );
+        let rounds = self.core.oracle.radius_mul(model, self.core.epsilon);
+        MarginalsReport {
+            method: MarginalsMethod::Exact {
+                epsilon: self.core.epsilon,
+            },
+            marginals,
+            rounds,
+            wall_time: start.elapsed(),
+            phases: vec![Phase::new("oracle", start.elapsed(), rounds)],
+        }
     }
 
     /// The sampling ⟹ inference reduction (Theorem 3.4): reconstructs
     /// every carrier node's marginal from `repetitions` executions of
     /// the approximate sampler (seeds `seed0, seed0+1, …`). The
     /// per-node error is bounded by `δ + ε₀ + ` Monte Carlo noise,
-    /// where `ε₀` is the reported failure rate.
+    /// where `ε₀` is the reported failure rate — recorded, along with
+    /// the repetition count and `δ`, in the report's
+    /// [`MarginalsMethod::Sampled`].
     ///
     /// # Errors
     ///
     /// [`EngineError::InvalidParameter`] if `repetitions` is zero.
+    pub fn marginals_sampled(
+        &self,
+        repetitions: usize,
+        seed0: u64,
+    ) -> Result<MarginalsReport, EngineError> {
+        let start = Instant::now();
+        let run = self.sampled_marginals_raw(repetitions, seed0)?;
+        Ok(MarginalsReport {
+            method: MarginalsMethod::Sampled {
+                repetitions: run.repetitions,
+                failure_rate: run.failure_rate,
+                delta: self.core.delta,
+            },
+            rounds: run.rounds,
+            marginals: run.marginals,
+            wall_time: start.elapsed(),
+            phases: vec![Phase::new("sampling", start.elapsed(), run.rounds)],
+        })
+    }
+
+    /// Bare-table predecessor of [`Engine::marginals`].
+    #[deprecated(since = "0.8.0", note = "use `Engine::marginals` (structured report)")]
+    pub fn marginals_exact_all(&self) -> Vec<Vec<f64>> {
+        self.marginals().marginals
+    }
+
+    /// Bare-struct predecessor of [`Engine::marginals_sampled`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] if `repetitions` is zero.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `Engine::marginals_sampled` (structured report)"
+    )]
     pub fn marginals_by_sampling(
+        &self,
+        repetitions: usize,
+        seed0: u64,
+    ) -> Result<SampledMarginals, EngineError> {
+        self.sampled_marginals_raw(repetitions, seed0)
+    }
+
+    /// Shared body of [`Engine::marginals_sampled`] and its deprecated
+    /// shim.
+    fn sampled_marginals_raw(
         &self,
         repetitions: usize,
         seed0: u64,
@@ -685,109 +795,162 @@ impl EngineCore {
         let start = Instant::now();
         let model = self.instance.model();
         let handle = self.oracle_handle();
-        let (output, succeeded, rounds, stats, phases, sharding) = match task {
-            Task::SampleExact => {
-                let net = Network::from_shared(Arc::clone(&self.instance), seed);
-                let (run, _schedule, stats, timings) =
-                    jvv::sample_exact_local_with(&net, &handle, self.epsilon, 0, pool);
-                let config = Config::from_values(run.outputs.clone());
-                let decoded = self.decode(&config);
-                let phases = vec![
-                    Phase::new("schedule", timings.schedule, run.rounds),
-                    Phase::new("ground", timings.passes.ground, 0),
-                    Phase::new("sample", timings.passes.sample, 0),
-                    Phase::new("reject", timings.passes.reject, 0),
-                ];
-                (
-                    TaskOutput::Sample { config, decoded },
-                    run.succeeded(),
-                    run.rounds,
-                    Some(stats),
-                    phases,
-                    Some(timings.passes.sharding),
-                )
-            }
-            Task::SampleApprox => {
-                let net = Network::from_shared(Arc::clone(&self.instance), seed);
-                let (run, _schedule, timings) =
-                    sampler::sample_local_with(&net, &handle, self.delta, 0, pool);
-                let config = Config::from_values(run.outputs.clone());
-                let decoded = self.decode(&config);
-                let phases = vec![
-                    Phase::new("schedule", timings.schedule, run.rounds),
-                    Phase::new("scan", timings.scan, 0),
-                ];
-                (
-                    TaskOutput::Sample { config, decoded },
-                    run.succeeded(),
-                    run.rounds,
-                    None,
-                    phases,
-                    Some(timings.sharding),
-                )
-            }
-            Task::Infer { vertex, value } => {
-                if vertex.index() >= model.node_count() {
-                    return Err(EngineError::InvalidTask {
-                        message: format!(
-                            "vertex {vertex} outside the carrier node set (n = {})",
-                            model.node_count()
-                        ),
-                    });
+        type Served = (
+            TaskOutput,
+            bool,
+            usize,
+            Option<jvv::JvvStats>,
+            Vec<Phase>,
+            Option<lds_localnet::scheduler::ShardingStats>,
+            ServedBackend,
+            Option<glauber::GlauberStats>,
+        );
+        let (output, succeeded, rounds, stats, phases, sharding, served, glauber_stats): Served =
+            match task {
+                Task::SampleExact => {
+                    let net = Network::from_shared(Arc::clone(&self.instance), seed);
+                    let (run, _schedule, stats, timings) =
+                        jvv::sample_exact_local_with(&net, &handle, self.epsilon, 0, pool);
+                    let config = Config::from_values(run.outputs.clone());
+                    let decoded = self.decode(&config);
+                    let phases = vec![
+                        Phase::new("schedule", timings.schedule, run.rounds),
+                        Phase::new("ground", timings.passes.ground, 0),
+                        Phase::new("sample", timings.passes.sample, 0),
+                        Phase::new("reject", timings.passes.reject, 0),
+                    ];
+                    (
+                        TaskOutput::Sample { config, decoded },
+                        run.succeeded(),
+                        run.rounds,
+                        Some(stats),
+                        phases,
+                        Some(timings.passes.sharding),
+                        ServedBackend::Exact,
+                        None,
+                    )
                 }
-                if value.index() >= model.alphabet_size() {
-                    return Err(EngineError::InvalidTask {
-                        message: format!(
-                            "value {} outside the alphabet (q = {})",
-                            value.index(),
-                            model.alphabet_size()
-                        ),
-                    });
+                Task::SampleApprox => match &self.approx {
+                    Err(cause) => {
+                        return Err(EngineError::BackendUnavailable {
+                            backend: "glauber",
+                            cause: cause.clone(),
+                        })
+                    }
+                    Ok(ApproxPath::Chain) => {
+                        let net = Network::from_shared(Arc::clone(&self.instance), seed);
+                        let (run, _schedule, timings) =
+                            sampler::sample_local_with(&net, &handle, self.delta, 0, pool);
+                        let config = Config::from_values(run.outputs.clone());
+                        let decoded = self.decode(&config);
+                        let phases = vec![
+                            Phase::new("schedule", timings.schedule, run.rounds),
+                            Phase::new("scan", timings.scan, 0),
+                        ];
+                        (
+                            TaskOutput::Sample { config, decoded },
+                            run.succeeded(),
+                            run.rounds,
+                            None,
+                            phases,
+                            Some(timings.sharding),
+                            ServedBackend::Exact,
+                            None,
+                        )
+                    }
+                    Ok(ApproxPath::Glauber { sweeps }) => {
+                        let sweeps = *sweeps;
+                        let net = Network::from_shared(Arc::clone(&self.instance), seed);
+                        let (run, _schedule, gstats, timings) =
+                            glauber::sample_glauber_with(&net, sweeps as usize, 0, pool);
+                        let config = Config::from_values(run.outputs.clone());
+                        let decoded = self.decode(&config);
+                        let phases = vec![
+                            Phase::new("schedule", timings.schedule, run.rounds),
+                            Phase::new("ground", timings.ground, 0),
+                            Phase::new("glauber", timings.sweeps, 0),
+                        ];
+                        (
+                            TaskOutput::Sample { config, decoded },
+                            run.succeeded(),
+                            run.rounds,
+                            None,
+                            phases,
+                            Some(timings.sharding),
+                            ServedBackend::Glauber { sweeps },
+                            Some(gstats),
+                        )
+                    }
+                },
+                Task::Infer { vertex, value } => {
+                    if vertex.index() >= model.node_count() {
+                        return Err(EngineError::InvalidTask {
+                            message: format!(
+                                "vertex {vertex} outside the carrier node set (n = {})",
+                                model.node_count()
+                            ),
+                        });
+                    }
+                    if value.index() >= model.alphabet_size() {
+                        return Err(EngineError::InvalidTask {
+                            message: format!(
+                                "value {} outside the alphabet (q = {})",
+                                value.index(),
+                                model.alphabet_size()
+                            ),
+                        });
+                    }
+                    let distribution = self.oracle.marginal_mul(
+                        model,
+                        self.instance.pinning(),
+                        vertex,
+                        self.epsilon,
+                    );
+                    let probability = distribution[value.index()];
+                    let rounds = self.oracle.radius_mul(model, self.epsilon);
+                    (
+                        TaskOutput::Marginal {
+                            distribution,
+                            probability,
+                        },
+                        true,
+                        rounds,
+                        None,
+                        vec![Phase::new("oracle", start.elapsed(), rounds)],
+                        None,
+                        ServedBackend::Exact,
+                        None,
+                    )
                 }
-                let distribution =
-                    self.oracle
-                        .marginal_mul(model, self.instance.pinning(), vertex, self.epsilon);
-                let probability = distribution[value.index()];
-                let rounds = self.oracle.radius_mul(model, self.epsilon);
-                (
-                    TaskOutput::Marginal {
-                        distribution,
-                        probability,
-                    },
-                    true,
-                    rounds,
-                    None,
-                    vec![Phase::new("oracle", start.elapsed(), rounds)],
-                    None,
-                )
-            }
-            Task::Count => {
-                // anchor pass is sequential by construction; the n
-                // frozen chain marginals fan out across the pool
-                let run = counting::log_partition_function_detailed(
-                    model,
-                    self.instance.pinning(),
-                    &handle,
-                    self.epsilon,
-                    pool,
-                )?;
-                let rounds = self.oracle.radius_mul(model, self.epsilon);
-                (
-                    TaskOutput::Count {
-                        log_z: run.estimate.log_z,
-                        log_error_bound: run.estimate.log_error_bound,
-                    },
-                    true,
-                    rounds,
-                    None,
-                    vec![
-                        Phase::new("anchor", run.anchor_time, 0),
-                        Phase::new("marginals", run.marginal_time, rounds),
-                    ],
-                    None,
-                )
-            }
-        };
+                Task::Count => {
+                    // anchor pass is sequential by construction; the n
+                    // frozen chain marginals fan out across the pool
+                    let run = counting::log_partition_function_detailed(
+                        model,
+                        self.instance.pinning(),
+                        &handle,
+                        self.epsilon,
+                        pool,
+                    )?;
+                    let rounds = self.oracle.radius_mul(model, self.epsilon);
+                    (
+                        TaskOutput::Count {
+                            log_z: run.estimate.log_z,
+                            log_error_bound: run.estimate.log_error_bound,
+                        },
+                        true,
+                        rounds,
+                        None,
+                        vec![
+                            Phase::new("anchor", run.anchor_time, 0),
+                            Phase::new("marginals", run.marginal_time, rounds),
+                        ],
+                        None,
+                        ServedBackend::Exact,
+                        None,
+                    )
+                }
+            };
         Ok(RunReport {
             task,
             seed,
@@ -796,7 +959,9 @@ impl EngineCore {
             rounds,
             bound_rounds: self.bound_rounds,
             rate: self.rate,
+            backend: served,
             stats,
+            glauber: glauber_stats,
             wall_time: start.elapsed(),
             phases,
             sharding,
@@ -1068,7 +1233,7 @@ mod tests {
     }
 
     #[test]
-    fn marginals_by_sampling_reconstructs_and_validates() {
+    fn marginals_sampled_reconstructs_and_validates() {
         let engine = Engine::builder()
             .model(ModelSpec::Hardcore { lambda: 1.0 })
             .graph(generators::cycle(6))
@@ -1076,15 +1241,21 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            engine.marginals_by_sampling(0, 1).unwrap_err(),
+            engine.marginals_sampled(0, 1).unwrap_err(),
             EngineError::InvalidParameter {
                 name: "repetitions",
                 ..
             }
         ));
-        let rec = engine.marginals_by_sampling(400, 1).unwrap();
-        assert_eq!(rec.marginals.len(), 6);
-        assert_eq!(rec.repetitions, 400);
+        let rec = engine.marginals_sampled(400, 1).unwrap();
+        assert_eq!(rec.len(), 6);
+        assert!(matches!(
+            rec.method,
+            MarginalsMethod::Sampled {
+                repetitions: 400,
+                ..
+            }
+        ));
         for mu in &rec.marginals {
             let total: f64 = mu.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "sum {total}");

@@ -52,6 +52,19 @@ pub enum EngineError {
     /// marginal, or infeasible anchor weight — cannot happen for locally
     /// admissible models with an honest oracle).
     CountFailed(CountError),
+    /// The explicitly requested sampling backend cannot serve this
+    /// instance — e.g. [`crate::Backend::Glauber`] on a model whose
+    /// decay rate has no mixing certificate. Raised when the task is
+    /// actually requested, never as a silent fallback; the cause carries
+    /// the violated threshold. `Backend::Auto` never raises this — it
+    /// resolves to a servable path at build time.
+    BackendUnavailable {
+        /// Name of the unavailable backend (`"glauber"`).
+        backend: &'static str,
+        /// The certificate that failed, with computed vs. critical
+        /// values.
+        cause: OutOfRegime,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,6 +89,12 @@ impl std::fmt::Display for EngineError {
             EngineError::CountFailed(cause) => {
                 write!(f, "count estimator failed: {cause}")
             }
+            EngineError::BackendUnavailable { backend, cause } => {
+                write!(
+                    f,
+                    "backend `{backend}` unavailable for this instance: {cause}"
+                )
+            }
         }
     }
 }
@@ -85,6 +104,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::OutOfRegime(e) => Some(e),
             EngineError::CountFailed(e) => Some(e),
+            EngineError::BackendUnavailable { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -135,6 +155,31 @@ mod tests {
         }
         .to_string()
         .contains("expected length 5"));
+    }
+
+    #[test]
+    fn backend_unavailable_carries_the_failed_certificate() {
+        let cause = OutOfRegime {
+            rate: 0.995,
+            condition: "local Glauber dynamics needs decay rate < 0.99, got 0.9950".into(),
+            computed: 0.995,
+            critical: 0.99,
+        };
+        let e = EngineError::BackendUnavailable {
+            backend: "glauber",
+            cause: cause.clone(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`glauber` unavailable"), "{msg}");
+        assert!(msg.contains("0.9950"), "{msg}");
+        assert!(e.source().is_some(), "certificate must be the source");
+        assert_eq!(
+            e,
+            EngineError::BackendUnavailable {
+                backend: "glauber",
+                cause
+            }
+        );
     }
 
     #[test]

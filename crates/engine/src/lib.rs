@@ -21,9 +21,12 @@
 //! * [`Task`] — `SampleExact` (local-JVV, Theorem 4.2), `SampleApprox`
 //!   (Theorem 3.2 under the LOCAL scheduler), `Infer` (multiplicative
 //!   marginals), `Count` (chain rule).
+//! * [`Backend`] — which algorithm serves `SampleApprox`: the oracle
+//!   chain-rule sampler (`Exact`), local Glauber dynamics (`Glauber`,
+//!   Fischer–Ghaffari), or a per-instance build-time choice (`Auto`).
 //! * [`RunReport`] — output configuration (with matching decode), round
-//!   count, the paper's round bound, decay rate, JVV statistics, wall
-//!   time.
+//!   count, the paper's round bound, decay rate, the backend that
+//!   served it, JVV statistics, Glauber mixing diagnostics, wall time.
 //! * [`Engine::run_batch`] — multi-seed execution through one hot path,
 //!   the seam future batching/scheduling backends plug into.
 //! * [`EngineError`] — one structured error enum absorbing
@@ -64,15 +67,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod engine;
 mod error;
 mod oracle;
 mod report;
 mod spec;
 
+pub use backend::{Backend, ServedBackend, SweepBudget};
 pub use engine::{Engine, EngineBuilder};
 pub use error::EngineError;
+pub use lds_core::glauber::GlauberStats;
 pub use lds_core::sampling_to_inference::SampledMarginals;
 pub use oracle::{BoostedEnumeration, TaskOracle};
-pub use report::{RunReport, SampleDecode, ShardingStats, Task, TaskOutput};
+pub use report::{
+    MarginalsMethod, MarginalsReport, RunReport, SampleDecode, ShardingStats, Task, TaskOutput,
+};
 pub use spec::{ModelSpec, Topology};

@@ -1,12 +1,15 @@
-//! Typed tasks and the uniform response type.
+//! Typed tasks and the uniform response types.
 
 use std::time::Duration;
 
+use lds_core::glauber::GlauberStats;
 use lds_core::jvv::JvvStats;
 use lds_gibbs::{Config, Value};
 use lds_graph::{EdgeId, HyperEdgeId, NodeId};
 pub use lds_localnet::scheduler::ShardingStats;
 pub use lds_runtime::Phase;
+
+use crate::backend::ServedBackend;
 
 /// One request against a built [`crate::Engine`].
 ///
@@ -95,8 +98,16 @@ pub struct RunReport {
     pub bound_rounds: f64,
     /// The SSM decay rate used for radius planning.
     pub rate: f64,
+    /// Which sampling backend actually served this run. Oracle-driven
+    /// paths (local-JVV, the chain-rule sampler, inference, counting)
+    /// report [`ServedBackend::Exact`]; a Glauber-served
+    /// [`Task::SampleApprox`] reports its resolved sweep count.
+    pub backend: ServedBackend,
     /// JVV execution statistics (exact sampling only).
     pub stats: Option<JvvStats>,
+    /// Glauber mixing diagnostics (Glauber-served sampling only):
+    /// sweeps, total site updates, and the final sweep's change count.
+    pub glauber: Option<GlauberStats>,
     /// Wall-clock time of the execution.
     pub wall_time: Duration,
     /// Per-phase wall-clock and simulated-round breakdown. The phase
@@ -169,5 +180,74 @@ impl RunReport {
             .iter()
             .find(|p| p.name == name)
             .map(|p| p.wall_time)
+    }
+
+    /// The Glauber sweep count, if Glauber served this run.
+    pub fn glauber_sweeps(&self) -> Option<u32> {
+        match self.backend {
+            ServedBackend::Glauber { sweeps } => Some(sweeps),
+            ServedBackend::Exact => None,
+        }
+    }
+}
+
+/// How a [`MarginalsReport`] was computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MarginalsMethod {
+    /// Independent per-vertex multiplicative-oracle queries, each with
+    /// relative error `ε` ([`crate::Engine::marginals`]).
+    Exact {
+        /// The multiplicative error target of each query.
+        epsilon: f64,
+    },
+    /// The Theorem 3.4 sampling ⟹ inference reduction: empirical
+    /// frequencies over repeated approximate-sampler executions
+    /// ([`crate::Engine::marginals_sampled`]).
+    Sampled {
+        /// Sampler executions averaged over.
+        repetitions: usize,
+        /// Fraction of executions with at least one failed node (the
+        /// `ε₀` additive term of the paper's error bound).
+        failure_rate: f64,
+        /// The per-execution total-variation budget `δ`.
+        delta: f64,
+    },
+}
+
+/// Structured result of a whole-table marginals request, mirroring
+/// [`RunReport`]: the per-node tables plus how they were produced and
+/// the phase timings. Returned by [`crate::Engine::marginals`] and
+/// [`crate::Engine::marginals_sampled`].
+#[derive(Clone, Debug)]
+pub struct MarginalsReport {
+    /// How the table was computed, with its error parameters.
+    pub method: MarginalsMethod,
+    /// Per-node probability tables, indexed by carrier node id; each
+    /// inner vector has the alphabet's length and sums to 1 (up to the
+    /// method's error).
+    pub marginals: Vec<Vec<f64>>,
+    /// Simulated LOCAL rounds (exact: the oracle gather radius; sampled:
+    /// the scheduler's round count of one sampler execution).
+    pub rounds: usize,
+    /// Wall-clock time of the whole request.
+    pub wall_time: Duration,
+    /// Per-phase wall-clock breakdown, like [`RunReport::phases`].
+    pub phases: Vec<Phase>,
+}
+
+impl MarginalsReport {
+    /// The marginal table at one carrier node, if in range.
+    pub fn marginal(&self, v: NodeId) -> Option<&[f64]> {
+        self.marginals.get(v.index()).map(Vec::as_slice)
+    }
+
+    /// Number of carrier nodes in the table.
+    pub fn len(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.marginals.is_empty()
     }
 }

@@ -26,8 +26,12 @@
 use std::fmt;
 use std::time::Duration;
 
+use lds_core::glauber::GlauberStats;
 use lds_core::jvv::JvvStats;
-use lds_engine::{ModelSpec, RunReport, SampleDecode, ShardingStats, Task, TaskOutput, Topology};
+use lds_engine::{
+    Backend, ModelSpec, RunReport, SampleDecode, ServedBackend, ShardingStats, SweepBudget, Task,
+    TaskOutput, Topology,
+};
 use lds_gibbs::{Config, PartialConfig, Value};
 use lds_graph::{Graph, Hypergraph, NodeId};
 use lds_runtime::Phase;
@@ -659,6 +663,90 @@ impl Wire for JvvStats {
     }
 }
 
+impl Wire for GlauberStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.sweeps);
+        w.put_u64(self.site_updates);
+        w.put_usize(self.last_sweep_changes);
+        w.put_usize(self.locality);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(GlauberStats {
+            sweeps: r.get_usize()?,
+            site_updates: r.get_u64()?,
+            last_sweep_changes: r.get_usize()?,
+            locality: r.get_usize()?,
+        })
+    }
+}
+
+impl Wire for SweepBudget {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            SweepBudget::Auto => w.put_u8(0),
+            SweepBudget::Fixed(k) => {
+                w.put_u8(1);
+                w.put_u32(k);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(SweepBudget::Auto),
+            1 => Ok(SweepBudget::Fixed(r.get_u32()?)),
+            t => Err(bad_tag("sweep budget", t)),
+        }
+    }
+}
+
+impl Wire for Backend {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Backend::Exact => w.put_u8(0),
+            Backend::Glauber { sweeps } => {
+                w.put_u8(1);
+                sweeps.encode(w);
+            }
+            Backend::Auto => w.put_u8(2),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Backend::Exact),
+            1 => Ok(Backend::Glauber {
+                sweeps: SweepBudget::decode(r)?,
+            }),
+            2 => Ok(Backend::Auto),
+            t => Err(bad_tag("backend", t)),
+        }
+    }
+}
+
+impl Wire for ServedBackend {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            ServedBackend::Exact => w.put_u8(0),
+            ServedBackend::Glauber { sweeps } => {
+                w.put_u8(1);
+                w.put_u32(sweeps);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(ServedBackend::Exact),
+            1 => Ok(ServedBackend::Glauber {
+                sweeps: r.get_u32()?,
+            }),
+            t => Err(bad_tag("served backend", t)),
+        }
+    }
+}
+
 impl Wire for ShardingStats {
     fn encode(&self, w: &mut Writer) {
         w.put_usize(self.projected_clusters);
@@ -695,6 +783,8 @@ pub const PHASE_NAMES: &[&str] = &[
     "count",
     "anchor",
     "marginals",
+    "glauber",
+    "sampling",
 ];
 
 impl Wire for Phase {
@@ -724,7 +814,9 @@ impl Wire for RunReport {
         w.put_usize(self.rounds);
         w.put_f64(self.bound_rounds);
         w.put_f64(self.rate);
+        self.backend.encode(w);
         self.stats.encode(w);
+        self.glauber.encode(w);
         self.wall_time.encode(w);
         w.put_usize(self.phases.len());
         for p in &self.phases {
@@ -741,7 +833,9 @@ impl Wire for RunReport {
         let rounds = r.get_usize()?;
         let bound_rounds = r.get_f64()?;
         let rate = r.get_f64()?;
+        let backend = ServedBackend::decode(r)?;
         let stats = Option::<JvvStats>::decode(r)?;
+        let glauber = Option::<GlauberStats>::decode(r)?;
         let wall_time = Duration::decode(r)?;
         // a phase is at least 28 bytes: name length (8) + duration (12)
         // + rounds (8), before any name bytes
@@ -759,7 +853,9 @@ impl Wire for RunReport {
             rounds,
             bound_rounds,
             rate,
+            backend,
             stats,
+            glauber,
             wall_time,
             phases,
             sharding,

@@ -24,7 +24,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"LDSN");
 
 /// Wire-format version this build speaks. Bump on any codec change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added the backend field to `EngineSpec` and the
+/// backend/Glauber-stats fields to `RunReport`.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use lds_engine::{Engine, EngineError, ModelSpec, RunReport, Task, Topology};
+use lds_engine::{Backend, Engine, EngineError, ModelSpec, RunReport, Task, Topology};
 use lds_gibbs::PartialConfig;
 use lds_serve::ServerStats;
 
@@ -37,10 +37,15 @@ pub struct EngineSpec {
     pub epsilon: f64,
     /// Sampling total-variation target `δ`.
     pub delta: f64,
+    /// Which sampling backend serves `SampleApprox` on the rebuilt
+    /// engine. Part of the fingerprint, so two registrations differing
+    /// only in backend are distinct engines in the registry.
+    pub backend: Backend,
 }
 
 impl EngineSpec {
-    /// A spec with the default error targets the engine builder uses.
+    /// A spec with the default error targets and backend the engine
+    /// builder uses.
     pub fn new(model: ModelSpec, topology: Topology) -> Self {
         EngineSpec {
             model,
@@ -48,6 +53,7 @@ impl EngineSpec {
             pinning: None,
             epsilon: 0.05,
             delta: 0.05,
+            backend: Backend::Exact,
         }
     }
 
@@ -59,7 +65,8 @@ impl EngineSpec {
             .model(self.model.clone())
             .topology(self.topology.clone())
             .epsilon(self.epsilon)
-            .delta(self.delta);
+            .delta(self.delta)
+            .backend(self.backend);
         if let Some(tau) = &self.pinning {
             b = b.pinning(tau.clone());
         }
@@ -74,6 +81,7 @@ impl Wire for EngineSpec {
         self.pinning.encode(w);
         w.put_f64(self.epsilon);
         w.put_f64(self.delta);
+        self.backend.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -83,6 +91,7 @@ impl Wire for EngineSpec {
             pinning: Option::<PartialConfig>::decode(r)?,
             epsilon: r.get_f64()?,
             delta: r.get_f64()?,
+            backend: Backend::decode(r)?,
         })
     }
 }

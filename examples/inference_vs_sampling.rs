@@ -40,7 +40,15 @@ fn main() {
     // Monte Carlo reconstruction through the engine: repeated sampler
     // executions, marginals read off per node.
     let reps = 3000usize;
-    let rec = engine.marginals_by_sampling(reps, 7).expect("reps > 0");
+    let rec = engine.marginals_sampled(reps, 7).expect("reps > 0");
+    let (repetitions, failure_rate) = match rec.method {
+        lds::engine::MarginalsMethod::Sampled {
+            repetitions,
+            failure_rate,
+            ..
+        } => (repetitions, failure_rate),
+        _ => unreachable!("marginals_sampled reports its method"),
+    };
 
     let model = hardcore::model(&g, 1.0);
     let tau = PartialConfig::empty(n);
@@ -52,10 +60,10 @@ fn main() {
     println!(
         "\nTheorem 3.4: reconstructed marginals from {} runs; \
          worst node error {:.4} (bound δ + ε₀ = {:.4} + noise), failure rate {:.4}",
-        rec.repetitions,
+        repetitions,
         worst,
-        delta + rec.failure_rate,
-        rec.failure_rate
+        delta + failure_rate,
+        failure_rate
     );
 
     // the same engine answers the direct inference query

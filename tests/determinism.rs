@@ -14,7 +14,9 @@
 //! `LDS_THREADS=4`, which drives the *default* pool width of engines
 //! built without an explicit `threads(n)`.
 
-use lds::engine::{Engine, ModelSpec, RunReport, Task, TaskOutput};
+use lds::engine::{
+    Backend, Engine, MarginalsMethod, ModelSpec, RunReport, SweepBudget, Task, TaskOutput,
+};
 use lds::gibbs::Value;
 use lds::graph::{generators, Hypergraph, NodeId};
 
@@ -140,6 +142,8 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, context: &str) {
         }
         (x, y) => panic!("{context}: stats presence mismatch: {x:?} vs {y:?}"),
     }
+    assert_eq!(a.backend, b.backend, "{context}: served backend");
+    assert_eq!(a.glauber, b.glauber, "{context}: glauber stats");
     // phase structure (names + round charges) is part of the report
     let pa: Vec<(&str, usize)> = a.phases.iter().map(|p| (p.name, p.rounds)).collect();
     let pb: Vec<(&str, usize)> = b.phases.iter().map(|p| (p.name, p.rounds)).collect();
@@ -197,32 +201,102 @@ fn full_marginal_table_is_bit_identical_across_thread_counts() {
                 .map(|mu| mu.into_iter().map(f64::to_bits).collect())
                 .collect()
         };
-        let reference = bits(engine_for(&spec, 1).marginals_exact_all());
+        let reference = bits(engine_for(&spec, 1).marginals().marginals);
         for &threads in &THREAD_COUNTS[1..] {
-            let table = bits(engine_for(&spec, threads).marginals_exact_all());
-            assert_eq!(table, reference, "{} threads {}", spec.name(), threads);
+            let report = engine_for(&spec, threads).marginals();
+            assert!(
+                matches!(report.method, MarginalsMethod::Exact { .. }),
+                "{}: method",
+                spec.name()
+            );
+            assert_eq!(
+                bits(report.marginals),
+                reference,
+                "{} threads {}",
+                spec.name(),
+                threads
+            );
         }
     }
 }
 
 #[test]
 fn sampled_marginal_reconstruction_is_bit_identical_across_thread_counts() {
+    let method_key = |m: MarginalsMethod| match m {
+        MarginalsMethod::Sampled {
+            repetitions,
+            failure_rate,
+            delta,
+        } => (repetitions, failure_rate.to_bits(), delta.to_bits()),
+        other => panic!("sampled reconstruction reported {other:?}"),
+    };
     let spec = ModelSpec::Hardcore { lambda: 1.0 };
-    let reference = engine_for(&spec, 1).marginals_by_sampling(200, 7).unwrap();
+    let reference = engine_for(&spec, 1).marginals_sampled(200, 7).unwrap();
     for &threads in &THREAD_COUNTS[1..] {
         let rec = engine_for(&spec, threads)
-            .marginals_by_sampling(200, 7)
+            .marginals_sampled(200, 7)
             .unwrap();
-        assert_eq!(rec.repetitions, reference.repetitions);
         assert_eq!(
-            rec.failure_rate.to_bits(),
-            reference.failure_rate.to_bits(),
-            "threads {threads}: failure rate"
+            method_key(rec.method),
+            method_key(reference.method),
+            "threads {threads}: method"
         );
         for (a, b) in reference.marginals.iter().zip(&rec.marginals) {
             let ba: Vec<u64> = a.iter().map(|x| x.to_bits()).collect();
             let bb: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
             assert_eq!(ba, bb, "threads {threads}: marginal bits");
+        }
+    }
+}
+
+/// The Glauber path rides the same chromatic runtime as every other
+/// kernel, so its samples — and its mixing diagnostics — must be
+/// bit-identical at any pool width, across every model the backend can
+/// certify.
+#[test]
+fn glauber_batches_are_bit_identical_across_thread_counts() {
+    for spec in specs() {
+        let glauber_engine = |threads: usize| {
+            let builder = Engine::builder()
+                .model(spec.clone())
+                .epsilon(0.01)
+                .delta(0.05)
+                .threads(threads)
+                .backend(Backend::Glauber {
+                    sweeps: SweepBudget::Fixed(12),
+                });
+            match &spec {
+                ModelSpec::HypergraphMatching { .. } => builder.hypergraph(triangle_hypergraph()),
+                _ => builder.graph(generators::cycle(8)),
+            }
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", spec.name()))
+        };
+        let reference = glauber_engine(1)
+            .run_batch(Task::SampleApprox, &SEEDS)
+            .unwrap();
+        for report in &reference {
+            assert_eq!(
+                report.glauber_sweeps(),
+                Some(12),
+                "{}: Glauber must serve",
+                spec.name()
+            );
+            assert!(report.glauber.is_some(), "{}: diagnostics", spec.name());
+        }
+        for &threads in &THREAD_COUNTS[1..] {
+            let reports = glauber_engine(threads)
+                .run_batch(Task::SampleApprox, &SEEDS)
+                .unwrap();
+            for (a, b) in reference.iter().zip(&reports) {
+                let context = format!(
+                    "{} glauber seed {} threads {}",
+                    spec.name(),
+                    a.seed,
+                    threads
+                );
+                assert_reports_identical(a, b, &context);
+            }
         }
     }
 }
@@ -249,6 +323,25 @@ fn phase_rounds_sum_to_report_rounds() {
             "{task:?} phase time exceeds total"
         );
     }
+    // the Glauber path's phase accounting obeys the same invariant
+    let glauber = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(generators::cycle(8))
+        .epsilon(0.01)
+        .threads(2)
+        .backend(Backend::Glauber {
+            sweeps: SweepBudget::Fixed(9),
+        })
+        .build()
+        .unwrap();
+    let report = glauber.run(Task::SampleApprox).unwrap();
+    let total: usize = report.phases.iter().map(|p| p.rounds).sum();
+    assert_eq!(total, report.rounds, "glauber phase rounds");
+    assert!(
+        report.phases.iter().any(|p| p.name == "glauber"),
+        "glauber phase missing: {:?}",
+        report.phases
+    );
 }
 
 /// The default pool width comes from `LDS_THREADS` (the CI matrix leg)

@@ -9,11 +9,15 @@
 
 use std::time::Duration;
 
+use lds::core::glauber::GlauberStats;
 use lds::core::jvv::JvvStats;
-use lds::engine::{ModelSpec, RunReport, SampleDecode, ShardingStats, Task, TaskOutput, Topology};
+use lds::engine::{
+    Backend, ModelSpec, RunReport, SampleDecode, ServedBackend, ShardingStats, SweepBudget, Task,
+    TaskOutput, Topology,
+};
 use lds::gibbs::{Config, PartialConfig, Value};
 use lds::graph::{EdgeId, GraphBuilder, HyperEdgeId, Hypergraph, NodeId};
-use lds::net::codec::{Wire, PHASE_NAMES};
+use lds::net::codec::{Wire, Writer, PHASE_NAMES};
 use lds::net::{EngineSpec, Op, Reply, Request, Response, WireError};
 use lds::runtime::Phase;
 use lds::serve::ServerStats;
@@ -119,6 +123,29 @@ fn arb_pinning() -> impl Strategy<Value = Option<PartialConfig>> {
         })
 }
 
+fn arb_backend() -> impl Strategy<Value = Backend> {
+    (0u8..4, any::<u32>()).prop_map(|(tag, k)| match tag {
+        0 => Backend::Exact,
+        1 => Backend::Glauber {
+            sweeps: SweepBudget::Auto,
+        },
+        2 => Backend::Glauber {
+            sweeps: SweepBudget::Fixed(k),
+        },
+        _ => Backend::Auto,
+    })
+}
+
+fn arb_served_backend() -> impl Strategy<Value = ServedBackend> {
+    (any::<bool>(), any::<u32>()).prop_map(|(glauber, sweeps)| {
+        if glauber {
+            ServedBackend::Glauber { sweeps }
+        } else {
+            ServedBackend::Exact
+        }
+    })
+}
+
 fn arb_spec() -> impl Strategy<Value = EngineSpec> {
     (
         arb_model(),
@@ -126,14 +153,18 @@ fn arb_spec() -> impl Strategy<Value = EngineSpec> {
         arb_pinning(),
         any::<u64>(),
         any::<u64>(),
+        arb_backend(),
     )
-        .prop_map(|(model, topology, pinning, eps, delta)| EngineSpec {
-            model,
-            topology,
-            pinning,
-            epsilon: f64_from(eps),
-            delta: f64_from(delta),
-        })
+        .prop_map(
+            |(model, topology, pinning, eps, delta, backend)| EngineSpec {
+                model,
+                topology,
+                pinning,
+                epsilon: f64_from(eps),
+                delta: f64_from(delta),
+                backend,
+            },
+        )
 }
 
 fn arb_duration() -> impl Strategy<Value = Duration> {
@@ -176,6 +207,7 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (0u8..2, any::<u64>(), 0usize..4),
         (arb_duration(), arb_duration(), 0u8..2),
+        (arb_served_backend(), 0u8..2),
     )
         .prop_map(
             |(
@@ -183,6 +215,7 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
                 (rounds, bound_bits, rate_bits),
                 (has_stats, stat_bits, n_phases),
                 (wall, phase_wall, has_sharding),
+                (backend, has_glauber),
             )| {
                 RunReport {
                     task,
@@ -192,11 +225,18 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
                     rounds: (rounds % (1 << 40)) as usize,
                     bound_rounds: f64_from(bound_bits),
                     rate: f64_from(rate_bits),
+                    backend,
                     stats: (has_stats == 1).then(|| JvvStats {
                         acceptance_product: f64_from(stat_bits),
                         clamped: (stat_bits % 7) as usize,
                         repair_failures: (stat_bits % 3) as usize,
                         locality: (stat_bits % 100) as usize,
+                    }),
+                    glauber: (has_glauber == 1).then(|| GlauberStats {
+                        sweeps: (stat_bits % 4096) as usize,
+                        site_updates: stat_bits.rotate_right(9),
+                        last_sweep_changes: (stat_bits % 257) as usize,
+                        locality: (stat_bits % 5) as usize,
                     }),
                     wall_time: wall,
                     phases: (0..n_phases)
@@ -411,4 +451,51 @@ proptest! {
         bytes[0] = 0xEE;
         prop_assert!(Task::from_bytes(&bytes).is_err());
     }
+}
+
+/// Encodes a `RunReport` in the **protocol-v1** layout (no backend, no
+/// Glauber stats — the shape before this release) and feeds it to the
+/// current decoder: an old-version peer's bytes must produce a typed
+/// error, never a panic and never a silent misdecode. (The frame-level
+/// version gate rejects such peers first; this covers the codec layer
+/// on its own.)
+#[test]
+fn v1_report_bytes_fail_typed_on_the_v2_decoder() {
+    let mut w = Writer::new();
+    Task::SampleApprox.encode(&mut w);
+    w.put_u64(7); // seed
+    TaskOutput::Sample {
+        config: Config::from_values(vec![Value(0), Value(1)]),
+        decoded: SampleDecode::Spins,
+    }
+    .encode(&mut w);
+    w.put_bool(true); // succeeded
+    w.put_usize(12); // rounds
+    w.put_f64(34.5); // bound_rounds
+    w.put_f64(0.25); // rate
+
+    // v1 continued directly with Option<JvvStats>: no backend byte
+    w.put_u8(0); // stats: None
+    Duration::from_millis(3).encode(&mut w); // wall_time
+    w.put_usize(0); // phases: empty
+    w.put_u8(0); // sharding: None
+    let v1 = w.into_bytes();
+    let err = RunReport::from_bytes(&v1).expect_err("v1 bytes must not decode as v2");
+    // any CodecError variant is fine — the point is a typed failure
+    let _ = err.to_string();
+}
+
+/// Same for the v1 `EngineSpec` layout, which ended at `delta`: the v2
+/// decoder wants a backend tag and must fail typed on its absence.
+#[test]
+fn v1_spec_bytes_fail_typed_on_the_v2_decoder() {
+    let mut spec = EngineSpec::new(
+        ModelSpec::Hardcore { lambda: 0.5 },
+        Topology::Graph(lds::graph::generators::cycle(4)),
+    );
+    spec.backend = Backend::Exact;
+    let mut v2 = spec.to_bytes();
+    v2.pop(); // drop the trailing backend byte => the v1 layout
+    let err = EngineSpec::from_bytes(&v2).expect_err("v1 spec bytes must not decode as v2");
+    let _ = err.to_string();
 }

@@ -12,7 +12,7 @@
 //! the sampler's distribution moves.
 
 use lds::core::stats::{self, ChiSquare};
-use lds::engine::{Engine, ModelSpec, Task};
+use lds::engine::{Backend, Engine, ModelSpec, SweepBudget, Task};
 use lds::gibbs::distribution;
 use lds::graph::generators;
 
@@ -122,6 +122,98 @@ fn matching_exact_samples_fit_the_gibbs_law() {
     let test = chi_square_exactness(&engine, 2000);
     assert!(test.dof >= 3, "degenerate binning: {test:?}");
     assert!(test.p_value > P_FLOOR, "matching misfit: {test:?}");
+}
+
+/// The Glauber analogue of [`chi_square_exactness`]: draws `trials`
+/// approximate samples through a Glauber-backed `Task::SampleApprox`
+/// (seeds `0..trials`) and chi-square-tests them against the enumerated
+/// law. The sweep budget is fixed far above the certified mixing time
+/// of these tiny instances, so the residual total-variation distance is
+/// orders of magnitude below what the test could detect — a failure
+/// means the dynamics are biased, not under-mixed. Every report must
+/// also say Glauber actually served it.
+fn chi_square_glauber(engine: &Engine, trials: usize, sweeps: u32) -> ChiSquare {
+    let model = engine.instance().model();
+    let joint = distribution::joint_distribution(model, engine.instance().pinning())
+        .expect("instance small enough to enumerate");
+    let weights: Vec<f64> = joint.iter().map(|(_, p)| *p).collect();
+    let seeds: Vec<u64> = (0..trials as u64).collect();
+    let reports = engine
+        .run_batch(Task::SampleApprox, &seeds)
+        .expect("in-regime Glauber request");
+    let mut counts = vec![0u64; joint.len()];
+    for report in &reports {
+        assert_eq!(
+            report.glauber_sweeps(),
+            Some(sweeps),
+            "Glauber must have served this run"
+        );
+        assert!(report.succeeded, "greedy ground pass cannot fail in-regime");
+        let config = report.config().expect("sampling task");
+        let idx = joint
+            .iter()
+            .position(|(c, _)| c == config)
+            .expect("sample must be a feasible configuration");
+        counts[idx] += 1;
+    }
+    stats::goodness_of_fit(&counts, &weights, 5.0)
+}
+
+/// Chi-square cross-validation of the Glauber backend against the same
+/// enumerated law `Task::SampleExact` is tested against above — the
+/// two backends agree on the target distribution, not just internally.
+#[test]
+fn hardcore_glauber_samples_fit_the_gibbs_law() {
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(generators::cycle(8))
+        .epsilon(0.001)
+        .threads(2)
+        .backend(Backend::Glauber {
+            sweeps: SweepBudget::Fixed(48),
+        })
+        .build()
+        .unwrap();
+    let test = chi_square_glauber(&engine, 2000, 48);
+    assert!(test.dof >= 20, "degenerate binning: {test:?}");
+    assert!(test.p_value > P_FLOOR, "glauber hardcore misfit: {test:?}");
+}
+
+#[test]
+fn ising_glauber_samples_fit_the_gibbs_law() {
+    let engine = Engine::builder()
+        .model(ModelSpec::Ising {
+            beta: -0.2,
+            field: 0.1,
+        })
+        .graph(generators::cycle(6))
+        .epsilon(0.001)
+        .threads(2)
+        .backend(Backend::Glauber {
+            sweeps: SweepBudget::Fixed(48),
+        })
+        .build()
+        .unwrap();
+    let test = chi_square_glauber(&engine, 2000, 48);
+    assert!(test.dof >= 20, "degenerate binning: {test:?}");
+    assert!(test.p_value > P_FLOOR, "glauber ising misfit: {test:?}");
+}
+
+#[test]
+fn coloring_glauber_samples_fit_the_gibbs_law() {
+    let engine = Engine::builder()
+        .model(ModelSpec::Coloring { q: 4 })
+        .graph(generators::cycle(5))
+        .epsilon(0.002)
+        .threads(2)
+        .backend(Backend::Glauber {
+            sweeps: SweepBudget::Fixed(48),
+        })
+        .build()
+        .unwrap();
+    let test = chi_square_glauber(&engine, 2000, 48);
+    assert!(test.dof >= 20, "degenerate binning: {test:?}");
+    assert!(test.p_value > P_FLOOR, "glauber coloring misfit: {test:?}");
 }
 
 /// The same goodness-of-fit, but with each execution's **intra-task**
