@@ -287,12 +287,28 @@ impl EngineBuilder {
 
         // regime check + model/oracle/decoder construction, per spec
         type SharedOracle = Arc<dyn TaskOracle + Send + Sync>;
+        // The paper's round bounds are asymptotic; `bound_rounds`
+        // evaluates them with this explicit constant so the realized
+        // Linial–Saks schedule cost stays *below* the bound on every
+        // run (the round ledger treats a crossing as a hard error).
+        // The decomposition cost is only `O(log³ n)` w.h.p. — at
+        // benchmark scale its fluctuation around the constant-1
+        // formula reaches ~2.3× (worst over 500 seeds across all six
+        // models), so constant 3 absorbs the tail with margin while
+        // keeping the bound tight enough that a real complexity
+        // regression (an extra log factor, a runaway locality) still
+        // trips it.
+        const BOUND_CALIBRATION: f64 = 3.0;
         let (model, oracle, decoder, rate, bound_rounds): (_, SharedOracle, _, f64, f64) =
             match &spec {
                 ModelSpec::Hardcore { lambda } => {
                     let g = require_graph(&topology)?;
                     let rate = regime::hardcore(g, *lambda)?.rate;
-                    let bound = complexity::ssm_rounds_bound(rate.min(0.95), g.node_count(), 1.0);
+                    let bound = complexity::ssm_rounds_bound(
+                        rate.min(0.95),
+                        g.node_count(),
+                        BOUND_CALIBRATION,
+                    );
                     (
                         hardcore::model(g, *lambda),
                         Arc::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
@@ -304,8 +320,11 @@ impl EngineBuilder {
                 ModelSpec::Matching { lambda } => {
                     let g = require_graph(&topology)?;
                     let rate = regime::matching(g, *lambda).rate;
-                    let bound =
-                        complexity::matchings_rounds_bound(g.max_degree(), g.node_count(), 1.0);
+                    let bound = complexity::matchings_rounds_bound(
+                        g.max_degree(),
+                        g.node_count(),
+                        BOUND_CALIBRATION,
+                    );
                     let inst = MatchingInstance::new(g, *lambda);
                     (
                         inst.model().clone(),
@@ -319,7 +338,8 @@ impl EngineBuilder {
                     let g = require_graph(&topology)?;
                     let params = IsingParams::new(*beta, *field);
                     let rate = regime::ising(g, params)?.rate;
-                    let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
+                    let bound =
+                        complexity::ssm_rounds_bound(rate, g.node_count(), BOUND_CALIBRATION);
                     (
                         two_spin::model(g, params.to_two_spin()),
                         Arc::new(saw_oracle(params.to_two_spin(), rate)),
@@ -337,7 +357,8 @@ impl EngineBuilder {
                     let g = require_graph(&topology)?;
                     let params = TwoSpinParams::new(*beta, *gamma, *lambda);
                     let rate = regime::two_spin(params, *rate)?.rate;
-                    let bound = complexity::ssm_rounds_bound(rate, g.node_count(), 1.0);
+                    let bound =
+                        complexity::ssm_rounds_bound(rate, g.node_count(), BOUND_CALIBRATION);
                     (
                         two_spin::model(g, params),
                         Arc::new(saw_oracle(params, rate)),
@@ -349,7 +370,7 @@ impl EngineBuilder {
                 ModelSpec::Coloring { q } => {
                     let g = require_graph(&topology)?;
                     let rate = regime::coloring(g, *q)?.rate;
-                    let bound = complexity::log3_rounds_bound(g.node_count(), 1.0);
+                    let bound = complexity::log3_rounds_bound(g.node_count(), BOUND_CALIBRATION);
                     (
                         coloring::model(g, *q),
                         Arc::new(BoostedEnumeration::new(DecayRate::new(
@@ -371,7 +392,7 @@ impl EngineBuilder {
                     let inst = HypergraphMatchingInstance::new(h, *lambda);
                     let ig_delta = inst.intersection_graph().max_degree();
                     let rate = regime::hypergraph_matching(h, *lambda, ig_delta)?.rate;
-                    let bound = complexity::log3_rounds_bound(h.node_count(), 1.0);
+                    let bound = complexity::log3_rounds_bound(h.node_count(), BOUND_CALIBRATION);
                     (
                         inst.model().clone(),
                         Arc::new(saw_oracle(TwoSpinParams::hardcore(*lambda), rate)),
@@ -951,6 +972,22 @@ impl EngineCore {
                     )
                 }
             };
+        // Round-ledger observables (sampling tasks only — their
+        // `rounds` is the chromatic scheduler's simulated cost the
+        // paper bounds; inference/counting report a gather radius with
+        // a different meaning): measured rounds against the model's
+        // predicted bound, and for Glauber-served runs the executed
+        // sweeps against the plan resolved at build time. A Glauber
+        // run's `rounds` counts sweeps, not chromatic rounds, so only
+        // the sweep observable applies there.
+        if matches!(task, Task::SampleExact | Task::SampleApprox) {
+            let ledger = lds_obs::ledger();
+            if let (Some(g), ServedBackend::Glauber { sweeps }) = (&glauber_stats, served) {
+                ledger.record_sweeps(self.spec.name(), g.sweeps as u64, sweeps as u64);
+            } else {
+                ledger.record_rounds(self.spec.name(), rounds, self.bound_rounds);
+            }
+        }
         Ok(RunReport {
             task,
             seed,

@@ -189,6 +189,47 @@ impl RunReport {
             ServedBackend::Exact => None,
         }
     }
+
+    /// Semantic equality: every field the determinism contract covers,
+    /// ignoring the **execution-strategy fields** that legitimately
+    /// vary between runs of the same `(fingerprint, task, seed)` —
+    /// wall-clock times (`wall_time`, per-phase `wall_time`) and the
+    /// halo-sharding telemetry (`sharding`, a function of pool width).
+    /// Floats are compared bit-for-bit: the contract is bit-identical
+    /// outputs, not approximate agreement.
+    ///
+    /// This is the one definition of "same answer" the determinism,
+    /// serving, and net round-trip tests all share; an ad-hoc exclusion
+    /// list in a test is a future false positive.
+    pub fn semantic_eq(&self, other: &RunReport) -> bool {
+        let jvv_eq = match (&self.stats, &other.stats) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.acceptance_product.to_bits() == b.acceptance_product.to_bits()
+                    && a.clamped == b.clamped
+                    && a.repair_failures == b.repair_failures
+                    && a.locality == b.locality
+            }
+            _ => false,
+        };
+        let phases_eq = self.phases.len() == other.phases.len()
+            && self
+                .phases
+                .iter()
+                .zip(&other.phases)
+                .all(|(a, b)| a.name == b.name && a.rounds == b.rounds);
+        self.task == other.task
+            && self.seed == other.seed
+            && self.output == other.output
+            && self.succeeded == other.succeeded
+            && self.rounds == other.rounds
+            && self.bound_rounds.to_bits() == other.bound_rounds.to_bits()
+            && self.rate.to_bits() == other.rate.to_bits()
+            && self.backend == other.backend
+            && jvv_eq
+            && self.glauber == other.glauber
+            && phases_eq
+    }
 }
 
 /// How a [`MarginalsReport`] was computed.

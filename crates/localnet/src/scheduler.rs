@@ -30,7 +30,36 @@
 use std::sync::{Arc, Mutex, OnceLock};
 
 use lds_graph::{power, traversal, Graph, NodeId};
+use lds_obs::trace::{self, TraceEvent};
 use lds_runtime::{streams, StreamRng, ThreadPool};
+
+/// Chromatic-runner observability handles, resolved once. Counters are
+/// bumped per color round (not per node), and the trace events are
+/// behind the sampling knob, so the instrumented runner's hot loops are
+/// unchanged in shape.
+struct RunnerMetrics {
+    /// Color rounds executed by the projected (parallel) runner.
+    rounds: Arc<lds_obs::Counter>,
+    /// Clusters simulated through a halo projection.
+    projected: Arc<lds_obs::Counter>,
+    /// Clusters scanned inline on the global state.
+    inline: Arc<lds_obs::Counter>,
+    /// Bytes of scan state shipped to workers.
+    bytes: Arc<lds_obs::Counter>,
+}
+
+fn runner_metrics() -> &'static RunnerMetrics {
+    static METRICS: OnceLock<RunnerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = lds_obs::global();
+        RunnerMetrics {
+            rounds: reg.counter("chromatic_color_rounds"),
+            projected: reg.counter("chromatic_clusters_projected"),
+            inline: reg.counter("chromatic_clusters_inline"),
+            bytes: reg.counter("chromatic_bytes_projected"),
+        }
+    })
+}
 
 use crate::decomposition::{linial_saks, DecompositionParams, NetworkDecomposition, UNCLUSTERED};
 use crate::local::LocalRun;
@@ -316,21 +345,35 @@ where
     // `(color, cluster)` indices into `halos`) so the kernel can erase
     // exactly the stale slots.
     let mut arena: Vec<(K::State, (usize, usize))> = Vec::new();
+    let metrics = runner_metrics();
     for (color, clusters) in schedule.color_clusters.iter().enumerate() {
         if let [cluster] = clusters.as_slice() {
             // a single cluster this color: scan it inline on the global
             // state — same execution, no projection, no fan-out
             stats.inline_clusters += 1;
+            metrics.rounds.inc();
+            metrics.inline.inc();
+            trace::emit(TraceEvent::RoundStart {
+                color: color as u32,
+            });
             for &v in cluster {
                 if let Some(e) = kernel.process(net, &mut state, v) {
                     effects.push((v, e));
                 }
             }
+            trace::emit(TraceEvent::RoundEnd {
+                color: color as u32,
+                clusters: 1,
+            });
             continue;
         }
         if clusters.is_empty() {
             continue;
         }
+        metrics.rounds.inc();
+        trace::emit(TraceEvent::RoundStart {
+            color: color as u32,
+        });
         // project on the caller's thread (the only reader of `state`);
         // workers receive owned payloads through take-once slots
         let mut slots: Vec<Mutex<Option<K::State>>> = Vec::with_capacity(clusters.len());
@@ -348,6 +391,13 @@ where
             stats.max_halo = stats.max_halo.max(halo.len());
             stats.bytes_cloned += kernel.projected_bytes(n, halo.len());
             stats.halo_bytes_bound += kernel.projected_bytes(halo.len(), halo.len());
+            metrics.projected.inc();
+            metrics.bytes.add(kernel.projected_bytes(n, halo.len()));
+            trace::emit(TraceEvent::ClusterDispatch {
+                color: color as u32,
+                cluster: ci as u32,
+                halo: halo.len() as u32,
+            });
             slots.push(Mutex::new(Some(projected)));
         }
         let slots = Arc::new(slots);
@@ -375,6 +425,7 @@ where
         });
         // replay in cluster order — the order the sequential scan uses —
         // and return the buffers to the arena for the next color
+        let round_clusters = runs.len() as u32;
         for (ci, (scratch, cluster_out)) in runs.into_iter().enumerate() {
             arena.push((scratch, (color, ci)));
             for (v, e) in cluster_out {
@@ -382,6 +433,10 @@ where
                 effects.push((v, e));
             }
         }
+        trace::emit(TraceEvent::RoundEnd {
+            color: color as u32,
+            clusters: round_clusters,
+        });
     }
     for &v in &schedule.tail {
         if let Some(e) = kernel.process(net, &mut state, v) {

@@ -13,6 +13,7 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use lds_engine::{RunReport, Task};
+use lds_obs::MetricsSnapshot;
 use lds_serve::ServerStats;
 
 use crate::codec::{CodecError, Wire};
@@ -218,6 +219,17 @@ impl Client {
             interval,
         })? {
             Reply::Stats(stats) => Ok(*stats),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server process's `lds-obs` metrics-registry snapshot
+    /// — every counter, gauge, and latency histogram, across all
+    /// tenants. The scrape itself is not recorded server-side, so the
+    /// snapshot reflects the registry exactly as of the request.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(Op::Metrics)? {
+            Reply::Metrics(snapshot) => Ok(*snapshot),
             other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
         }
     }

@@ -34,6 +34,7 @@ use lds_engine::{
 };
 use lds_gibbs::{Config, PartialConfig, Value};
 use lds_graph::{Graph, Hypergraph, NodeId};
+use lds_obs::{HistogramSnapshot, MetricsSnapshot};
 use lds_runtime::Phase;
 use lds_serve::ServerStats;
 
@@ -897,6 +898,88 @@ impl Wire for ServerStats {
             p50_latency: Duration::decode(r)?,
             p99_latency: Duration::decode(r)?,
             uptime: Duration::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HistogramSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+        w.put_usize(self.buckets.len());
+        for (value, count) in &self.buckets {
+            w.put_u64(*value);
+            w.put_u64(*count);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let count = r.get_u64()?;
+        let sum = r.get_u64()?;
+        let max = r.get_u64()?;
+        let n = r.get_len(16)?;
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let value = r.get_u64()?;
+            let c = r.get_u64()?;
+            buckets.push((value, c));
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        })
+    }
+}
+
+impl Wire for MetricsSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.counters.len());
+        for (name, v) in &self.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_usize(self.gauges.len());
+        for (name, v) in &self.gauges {
+            w.put_str(name);
+            // i64 travels as its two's-complement bit pattern
+            w.put_u64(*v as u64);
+        }
+        w.put_usize(self.histograms.len());
+        for (name, h) in &self.histograms {
+            w.put_str(name);
+            h.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // a counter/gauge entry is at least 16 bytes (name length
+        // prefix + value), a histogram entry at least 40 (name prefix
+        // + count/sum/max + bucket count)
+        let nc = r.get_len(16)?;
+        let mut counters = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let name = r.get_str()?.to_owned();
+            counters.push((name, r.get_u64()?));
+        }
+        let ng = r.get_len(16)?;
+        let mut gauges = Vec::with_capacity(ng);
+        for _ in 0..ng {
+            let name = r.get_str()?.to_owned();
+            gauges.push((name, r.get_u64()? as i64));
+        }
+        let nh = r.get_len(40)?;
+        let mut histograms = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let name = r.get_str()?.to_owned();
+            histograms.push((name, HistogramSnapshot::decode(r)?));
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
         })
     }
 }

@@ -18,6 +18,7 @@ use std::fmt;
 
 use lds_engine::{Backend, Engine, EngineError, ModelSpec, RunReport, Task, Topology};
 use lds_gibbs::PartialConfig;
+use lds_obs::MetricsSnapshot;
 use lds_serve::ServerStats;
 
 use crate::codec::{CodecError, Reader, Wire, Writer};
@@ -121,6 +122,13 @@ pub enum Op {
         /// since the previous interval query (and reset the interval).
         interval: bool,
     },
+    /// Fetch the server process's metrics-registry snapshot (`lds-obs`):
+    /// every counter, gauge, and latency histogram across all tenants
+    /// and layers. Process-scoped, so no fingerprint. Serving this op
+    /// records nothing into the registry itself (no self-observation):
+    /// the snapshot a quiesced process returns over the wire is the
+    /// same one it would render locally.
+    Metrics,
 }
 
 /// One client→server frame: an operation plus a client-chosen id the
@@ -160,6 +168,7 @@ impl Wire for Request {
                 w.put_u64(*fingerprint);
                 w.put_bool(*interval);
             }
+            Op::Metrics => w.put_u8(4),
         }
     }
 
@@ -177,6 +186,7 @@ impl Wire for Request {
                 fingerprint: r.get_u64()?,
                 interval: r.get_bool()?,
             },
+            4 => Op::Metrics,
             t => return Err(CodecError::Malformed(format!("unknown op tag {t}"))),
         };
         Ok(Request { id, op })
@@ -301,6 +311,8 @@ pub enum Reply {
     Stats(Box<ServerStats>),
     /// A typed failure.
     Error(WireError),
+    /// The process metrics-registry snapshot ([`Op::Metrics`]).
+    Metrics(Box<MetricsSnapshot>),
 }
 
 /// One server→client frame: a reply plus the request id it answers.
@@ -333,6 +345,10 @@ impl Wire for Response {
                 w.put_u8(4);
                 err.encode(w);
             }
+            Reply::Metrics(snapshot) => {
+                w.put_u8(5);
+                snapshot.encode(w);
+            }
         }
     }
 
@@ -346,6 +362,7 @@ impl Wire for Response {
             2 => Reply::Report(Box::new(RunReport::decode(r)?)),
             3 => Reply::Stats(Box::new(ServerStats::decode(r)?)),
             4 => Reply::Error(WireError::decode(r)?),
+            5 => Reply::Metrics(Box::new(MetricsSnapshot::decode(r)?)),
             t => return Err(CodecError::Malformed(format!("unknown reply tag {t}"))),
         };
         Ok(Response { id, reply })

@@ -28,8 +28,10 @@ use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use lds_obs::trace::{self, TraceEvent};
+use lds_obs::{Counter, Histogram};
 use lds_runtime::channel::{self, Receiver, Sender};
 use lds_runtime::ShutdownSignal;
 use lds_serve::{EngineRegistry, RegistryConfig, ServeError, SubmitError, Ticket};
@@ -70,12 +72,54 @@ impl Default for NetConfig {
     }
 }
 
+/// Net-layer observability handles against the process metrics
+/// registry, resolved once.
+///
+/// [`Op::Metrics`] itself is deliberately **not** instrumented — no
+/// byte counts, no latency sample, no trace events. Recording the
+/// scrape would make every snapshot differ from the registry state it
+/// reports (self-observation) and pollute the op-latency histograms
+/// with scrape traffic.
+struct NetMetrics {
+    /// Request payload bytes decoded (`net_bytes_in`).
+    bytes_in: Arc<Counter>,
+    /// Response payload bytes encoded (`net_bytes_out`).
+    bytes_out: Arc<Counter>,
+    /// Typed backpressure surfaced to peers: overloaded rejections plus
+    /// sessions that lost a wedged peer (`net_backpressure`).
+    backpressure: Arc<Counter>,
+    /// Per-op service latency, dispatch to reply-ready. For `Run` this
+    /// spans the ticket wait, i.e. queueing + engine execution.
+    op_ping: Arc<Histogram>,
+    op_register: Arc<Histogram>,
+    op_run: Arc<Histogram>,
+    op_stats: Arc<Histogram>,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static METRICS: std::sync::OnceLock<NetMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = lds_obs::global();
+        NetMetrics {
+            bytes_in: reg.counter("net_bytes_in"),
+            bytes_out: reg.counter("net_bytes_out"),
+            backpressure: reg.counter("net_backpressure"),
+            op_ping: reg.histogram("net_op_ping_ns"),
+            op_register: reg.histogram("net_op_register_ns"),
+            op_run: reg.histogram("net_op_run_ns"),
+            op_stats: reg.histogram("net_op_stats_ns"),
+        }
+    })
+}
+
 /// One unit of the per-session response pipeline, in request order.
 enum Outgoing {
     /// Answered at decode/submit time (acks, stats, typed rejections).
     Ready(Response),
-    /// An accepted run: the writer waits the ticket, then replies.
-    Ticket(u64, Ticket),
+    /// An accepted run: the writer waits the ticket, then replies. The
+    /// instant is the dispatch time, closing the `net_op_run_ns` sample
+    /// when the ticket resolves.
+    Ticket(u64, Ticket, Instant),
 }
 
 /// A TCP server speaking the `lds-net` protocol over a multi-tenant
@@ -269,7 +313,16 @@ fn reader_loop(
                 continue;
             }
         };
-        let out = dispatch(request, registry);
+        if !matches!(request.op, Op::Metrics) {
+            net_metrics().bytes_in.add(payload.len() as u64);
+            trace::emit(TraceEvent::WireDecode {
+                bytes: payload.len().min(u32::MAX as usize) as u32,
+            });
+        }
+        // the wire request id doubles as the trace-correlation id:
+        // serve-layer queue/cache events and engine-side events for
+        // this request carry it through `Pending::trace_id`
+        let out = trace::with_request_id(request.id, || dispatch(request, registry));
         if tx.send(out).is_err() {
             // writer gone (peer stopped reading and timed out)
             return;
@@ -282,15 +335,24 @@ fn reader_loop(
 /// session's reader thread — one tenant's expensive registration never
 /// stalls other connections.
 fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
+    let metrics = net_metrics();
     let id = request.id;
+    let started = Instant::now();
     let reply = match request.op {
-        Op::Ping => Reply::Pong,
-        Op::Register(spec) => match spec.build() {
-            Ok(engine) => Reply::Registered {
-                fingerprint: registry.register(engine),
-            },
-            Err(e) => Reply::Error(WireError::Rejected(e.to_string())),
-        },
+        Op::Ping => {
+            metrics.op_ping.record_duration(started.elapsed());
+            Reply::Pong
+        }
+        Op::Register(spec) => {
+            let reply = match spec.build() {
+                Ok(engine) => Reply::Registered {
+                    fingerprint: registry.register(engine),
+                },
+                Err(e) => Reply::Error(WireError::Rejected(e.to_string())),
+            };
+            metrics.op_register.record_duration(started.elapsed());
+            reply
+        }
         Op::Stats {
             fingerprint,
             interval,
@@ -300,11 +362,16 @@ fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
             } else {
                 registry.stats_of(fingerprint)
             };
-            match stats {
+            let reply = match stats {
                 Some(s) => Reply::Stats(Box::new(s)),
                 None => Reply::Error(WireError::UnknownFingerprint(fingerprint)),
-            }
+            };
+            metrics.op_stats.record_duration(started.elapsed());
+            reply
         }
+        // deliberately un-instrumented (see `NetMetrics`): the snapshot
+        // returned is exactly the registry state at this instant
+        Op::Metrics => Reply::Metrics(Box::new(lds_obs::global().snapshot())),
         Op::Run {
             fingerprint,
             task,
@@ -312,14 +379,17 @@ fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
         } => match registry.get(fingerprint) {
             None => Reply::Error(WireError::UnknownFingerprint(fingerprint)),
             Some(server) => match server.try_submit(task, seed) {
-                Ok(ticket) => return Outgoing::Ticket(id, ticket),
+                Ok(ticket) => return Outgoing::Ticket(id, ticket, started),
                 Err(SubmitError::Overloaded {
                     queue_depth,
                     watermark,
-                }) => Reply::Error(WireError::Overloaded {
-                    queue_depth,
-                    watermark,
-                }),
+                }) => {
+                    metrics.backpressure.inc();
+                    Reply::Error(WireError::Overloaded {
+                        queue_depth,
+                        watermark,
+                    })
+                }
                 Err(SubmitError::ShuttingDown) => Reply::Error(WireError::ShuttingDown),
             },
         },
@@ -328,11 +398,12 @@ fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
 }
 
 fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig>) {
+    let metrics = net_metrics();
     let mut peer_writable = true;
     while let Ok(out) = rx.recv() {
         let resp = match out {
             Outgoing::Ready(resp) => resp,
-            Outgoing::Ticket(id, ticket) => {
+            Outgoing::Ticket(id, ticket, started) => {
                 // every accepted ticket resolves (report, error, or
                 // cancellation on serve-layer shutdown) — waiting here
                 // is what makes drain-on-shutdown complete
@@ -341,15 +412,24 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig
                     Err(ServeError::Engine(e)) => Reply::Error(WireError::Engine(e.to_string())),
                     Err(ServeError::Cancelled) => Reply::Error(WireError::Cancelled),
                 };
+                metrics.op_run.record_duration(started.elapsed());
                 Response { id, reply }
             }
         };
-        if peer_writable
-            && frame::write_frame(&mut stream, &resp.to_bytes(), cfg.max_frame_len).is_err()
-        {
+        let bytes = resp.to_bytes();
+        if !matches!(resp.reply, Reply::Metrics(_)) {
+            metrics.bytes_out.add(bytes.len() as u64);
+            trace::with_request_id(resp.id, || {
+                trace::emit(TraceEvent::WireEncode {
+                    bytes: bytes.len().min(u32::MAX as usize) as u32,
+                });
+            });
+        }
+        if peer_writable && frame::write_frame(&mut stream, &bytes, cfg.max_frame_len).is_err() {
             // the peer is gone or wedged past the write timeout: stop
             // writing, but keep draining tickets so accepted work is
             // still awaited before the session ends
+            metrics.backpressure.inc();
             peer_writable = false;
         }
     }

@@ -1,0 +1,259 @@
+//! The named-metric registry and its snapshot/exposition forms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter. Bumping is one relaxed
+/// `fetch_add` on a pre-resolved handle.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `by` to the counter.
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an instantaneous signed level (queue depth, in-flight
+/// count). All operations are single relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `by` (may be negative).
+    pub fn add(&self, by: i64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Registration (name → handle) takes a lock once; the returned `Arc`
+/// handles are lock-free to operate. Handles for one name are shared:
+/// registering `"pool_jobs"` twice yields the same counter, so layers
+/// can resolve their handles independently without coordination.
+///
+/// Most code uses the process-wide instance ([`crate::global`]);
+/// independent instances exist for tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("metrics registry lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("metrics registry lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("metrics registry lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name. Concurrent recordings land on one side of the snapshot or
+    /// the other, never half-applied per metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(&name, c)| (name.to_owned(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(&name, g)| (name.to_owned(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(&name, h)| (name.to_owned(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]: plain data, sorted
+/// by name, safe to ship across threads or the wire (`Op::Metrics`)
+/// and to render for scraping ([`MetricsSnapshot::render_text`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every registered histogram, sorted by
+    /// name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The level of a gauge by name, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram snapshot by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as quantile summaries with `_sum`/`_count`.
+    /// Deterministic (sorted by name) so two snapshots compare equal
+    /// iff their renderings do.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in [0.5, 0.9, 0.99] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("hits").get(), 3);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+
+        reg.histogram("lat").record(42);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta").add(1);
+        reg.counter("alpha").add(2);
+        reg.gauge("mid").set(-7);
+        reg.histogram("lat").record(100);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.counter("alpha"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("mid"), Some(-7));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn text_exposition_round_trips_equality() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs").add(7);
+        reg.gauge("depth").set(2);
+        let h = reg.histogram("lat");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("# TYPE jobs counter"));
+        assert!(text.contains("jobs 7"));
+        assert!(text.contains("depth 2"));
+        assert!(text.contains("lat{quantile=\"0.5\"} 20"));
+        assert!(text.contains("lat_count 3"));
+        assert!(text.contains("lat_sum 60"));
+        // deterministic: equal snapshots render identically
+        assert_eq!(text, reg.snapshot().render_text());
+    }
+}

@@ -7,7 +7,8 @@
 //! crate supplies the two ingredients that let the workspace exploit that
 //! parallelism without giving up reproducibility:
 //!
-//! * [`ThreadPool`] — a dependency-free `std::thread` work-stealing pool.
+//! * [`ThreadPool`] — a `std::thread` work-stealing pool (instrumented
+//!   through `lds-obs`, the only dependency).
 //!   Workers self-schedule by stealing the next unclaimed item index from
 //!   a shared atomic counter; results are gathered **in input order**, so
 //!   [`ThreadPool::par_map`] is a drop-in replacement for a sequential

@@ -3,11 +3,45 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A job shipped to a parked worker: a boxed `'static` closure, so no
 /// borrow from any caller's stack ever crosses into a worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool observability handles, resolved against the process metrics
+/// registry once. Every operation on them is a single relaxed atomic,
+/// and they are touched **only on the fan-out path** — the width-1 /
+/// single-item inline path of [`ThreadPool::par_map`] stays exactly
+/// `items.iter().map(f).collect()` with zero instrumentation, which is
+/// what keeps the microbenchmark gates honest.
+struct PoolMetrics {
+    /// Helper jobs enqueued to parked workers (one per lane fanned out).
+    jobs: Arc<lds_obs::Counter>,
+    /// Items claimed by helper lanes (the caller's own claims are the
+    /// remainder of the per-call item count).
+    steals: Arc<lds_obs::Counter>,
+    /// Times a worker began waiting for a job (parked).
+    parks: Arc<lds_obs::Counter>,
+    /// Times a worker woke with a job (unparked).
+    unparks: Arc<lds_obs::Counter>,
+    /// Helper jobs currently enqueued but not yet picked up.
+    queue_depth: Arc<lds_obs::Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = lds_obs::global();
+        PoolMetrics {
+            jobs: reg.counter("pool_jobs"),
+            steals: reg.counter("pool_steals"),
+            parks: reg.counter("pool_parks"),
+            unparks: reg.counter("pool_unparks"),
+            queue_depth: reg.gauge("pool_queue_depth"),
+        }
+    })
+}
 
 /// A deterministic persistent `std::thread` work-stealing pool.
 ///
@@ -96,7 +130,9 @@ impl Drop for PoolInner {
 /// travels back to the caller through the job's result channel), repeat
 /// until the pool closes the channel.
 fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    let metrics = pool_metrics();
     loop {
+        metrics.parks.inc();
         let job = {
             let guard = match rx.lock() {
                 Ok(g) => g,
@@ -106,6 +142,8 @@ fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
         };
         match job {
             Ok(job) => {
+                metrics.unparks.inc();
+                metrics.queue_depth.add(-1);
                 let _ = panic::catch_unwind(AssertUnwindSafe(job));
             }
             Err(_) => return, // pool dropped
@@ -254,14 +292,19 @@ impl ThreadPool {
         let f = Arc::new(f);
         let (tx, rx) = channel::<Outcome<R>>();
 
-        // the steal loop both helpers and the caller run
+        // the steal loop both helpers and the caller run; helper lanes
+        // count their claims as steals (the caller's claims are its own
+        // work, not stolen from anyone)
         let steal = {
             let shared = Arc::clone(&shared);
             let next = Arc::clone(&next);
             let f = Arc::clone(&f);
-            move |tx: Sender<Outcome<R>>| loop {
+            move |tx: Sender<Outcome<R>>, helper: bool| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = shared.get(i) else { break };
+                if helper {
+                    pool_metrics().steals.inc();
+                }
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(item)));
                 if tx.send((i, result)).is_err() {
                     break; // caller gone — stop pulling work
@@ -273,14 +316,18 @@ impl ThreadPool {
         let helpers = (lanes - 1).min(n.saturating_sub(1));
         if let Ok(sender) = inner.sender.lock() {
             if let Some(sender) = sender.as_ref() {
+                let metrics = pool_metrics();
                 for _ in 0..helpers {
                     let steal = steal.clone();
                     let tx = tx.clone();
-                    let _ = sender.send(Box::new(move || steal(tx)));
+                    if sender.send(Box::new(move || steal(tx, true))).is_ok() {
+                        metrics.jobs.inc();
+                        metrics.queue_depth.add(1);
+                    }
                 }
             }
         }
-        steal(tx);
+        steal(tx, false);
 
         // Gather in input order. Every claimed index sends exactly one
         // outcome, so exactly `n` messages arrive — counting them (rather
@@ -320,6 +367,27 @@ mod tests {
             let pool = ThreadPool::new(threads);
             assert_eq!(pool.par_map(&items, |&x| x * 3 + 1), expect);
         }
+    }
+
+    #[test]
+    fn fan_out_is_observable() {
+        // the global registry is shared across parallel tests, so only
+        // monotone lower bounds on the deltas are assertable
+        let reg = lds_obs::global();
+        let jobs = reg.counter("pool_jobs").get();
+        let unparks = reg.counter("pool_unparks").get();
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..64).collect();
+        let out = pool.par_map(&items, |&x| {
+            std::thread::yield_now();
+            x
+        });
+        assert_eq!(out, items);
+        // 3 helper jobs were enqueued for a width-4 fan-out
+        assert!(reg.counter("pool_jobs").get() >= jobs + 3);
+        // parked workers woke to take them (some may still be queued if
+        // the caller drained everything, but the send itself landed)
+        assert!(reg.counter("pool_unparks").get() >= unparks);
     }
 
     #[test]

@@ -8,11 +8,52 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use lds_engine::{Engine, EngineError, RunReport, Task};
+use lds_obs::trace::{self, TraceEvent};
+use lds_obs::Histogram;
 use lds_runtime::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
 
 use crate::cache::{IdempotencyKey, LruCache};
 use crate::coalesce::coalesce;
-use crate::stats::{Counters, LatencyRecorder, ServerStats};
+use crate::stats::{latency_percentiles, Counters, ServerStats};
+
+/// Serving observability handles against the process metrics registry,
+/// resolved once. These aggregate across every [`Server`] in the
+/// process (the scrape/`Op::Metrics` view); the per-server numbers
+/// behind [`Server::stats`] live on each server's own state.
+struct ServeMetrics {
+    /// Process-wide request latency histogram
+    /// (`serve_request_latency_ns`) — same recordings as each server's
+    /// private histogram.
+    latency: Arc<Histogram>,
+    submitted: Arc<lds_obs::Counter>,
+    rejected: Arc<lds_obs::Counter>,
+    cache_hits: Arc<lds_obs::Counter>,
+    cache_misses: Arc<lds_obs::Counter>,
+    batches: Arc<lds_obs::Counter>,
+    batched_requests: Arc<lds_obs::Counter>,
+    /// Queue depth observed at the most recent enqueue/dequeue.
+    queue_depth: Arc<lds_obs::Gauge>,
+    /// The admission watermark in force at the most recent submit.
+    watermark: Arc<lds_obs::Gauge>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: std::sync::OnceLock<ServeMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = lds_obs::global();
+        ServeMetrics {
+            latency: reg.histogram("serve_request_latency_ns"),
+            submitted: reg.counter("serve_submitted"),
+            rejected: reg.counter("serve_rejected"),
+            cache_hits: reg.counter("serve_cache_hits"),
+            cache_misses: reg.counter("serve_cache_misses"),
+            batches: reg.counter("serve_batches"),
+            batched_requests: reg.counter("serve_batched_requests"),
+            queue_depth: reg.gauge("serve_queue_depth"),
+            watermark: reg.gauge("serve_admission_watermark"),
+        }
+    })
+}
 
 /// Tuning knobs of a [`Server`]. Start from `ServerConfig::default()`
 /// and override fields; every knob has a safe clamp.
@@ -44,7 +85,10 @@ pub struct ServerConfig {
     /// identical requests then still dedup while in flight, but not
     /// across time).
     pub cache_capacity: usize,
-    /// Latency-reservoir size for the p50/p99 snapshot (default 4096).
+    /// Retained for configuration compatibility: the latency reservoir
+    /// this sized was replaced by a fixed-resolution `lds-obs`
+    /// histogram, which needs no window (bounded memory at any request
+    /// volume). The value is ignored.
     pub latency_window: usize,
 }
 
@@ -159,6 +203,11 @@ struct Pending {
     task: Task,
     seed: u64,
     submitted_at: Instant,
+    /// Trace-correlation id: inherited from the caller's in-scope
+    /// request id (a net session propagates its wire request id this
+    /// way) or freshly allocated, so queue/cache/dispatch events for
+    /// one request line up across layers.
+    trace_id: u64,
     tx: mpsc::Sender<Result<RunReport, ServeError>>,
 }
 
@@ -185,7 +234,10 @@ struct Shared {
     config: ServerConfig,
     ledger: Mutex<Ledger>,
     counters: Counters,
-    latency: Mutex<LatencyRecorder>,
+    /// This server's own latency histogram (lock-free recording); the
+    /// same latencies also land in the process-wide
+    /// `serve_request_latency_ns` histogram for scraping.
+    latency: Histogram,
     /// Probe end of the request queue, used only for depth/peak stats
     /// (holding a receiver does not keep the queue alive — shutdown is
     /// signalled by dropping the *sender*).
@@ -194,16 +246,15 @@ struct Shared {
 }
 
 impl Shared {
-    /// Answers a group of requests, recording their service latencies
-    /// under **one** reservoir-lock acquisition. Dispatch always answers
-    /// whole groups (cache hits, a completed batch, a failed batch), so
-    /// taking the latency lock per response only adds contention with
-    /// the other worker sessions on the coalesced path.
+    /// Answers a group of requests. Latency recording is a lock-free
+    /// histogram bump per response (the old shared-reservoir mutex is
+    /// gone), into both this server's histogram and the process-wide
+    /// one.
     fn respond_many<I>(&self, responses: I)
     where
         I: IntoIterator<Item = (Pending, Result<RunReport, ServeError>)>,
     {
-        let mut latency = self.latency.lock().expect("latency lock poisoned");
+        let metrics = serve_metrics();
         for (pending, result) in responses {
             let counter = if result.is_ok() {
                 &self.counters.completed
@@ -211,7 +262,9 @@ impl Shared {
                 &self.counters.failed
             };
             Counters::bump(counter, 1);
-            latency.record(pending.submitted_at.elapsed());
+            let elapsed = pending.submitted_at.elapsed();
+            self.latency.record_duration(elapsed);
+            metrics.latency.record_duration(elapsed);
             // a dropped Ticket is a fire-and-forget request; ignore it
             let _ = pending.tx.send(result);
         }
@@ -222,8 +275,11 @@ impl Shared {
     /// caller's buffer in place so worker sessions reuse one batch
     /// allocation across coalescing windows.
     fn dispatch(self: &Arc<Self>, batch: &mut Vec<Pending>) {
+        let metrics = serve_metrics();
         Counters::bump(&self.counters.batches, 1);
         Counters::bump(&self.counters.batched_requests, batch.len() as u64);
+        metrics.batches.inc();
+        metrics.batched_requests.add(batch.len() as u64);
         let fingerprint = self.engine.fingerprint();
         for group in coalesce(batch.drain(..), |p| (p.task, p.seed)) {
             let task = group.task;
@@ -246,11 +302,17 @@ impl Shared {
                     if let Some(report) = ledger.cache.get(&key).cloned() {
                         hits += waiters.len() as u64;
                         for w in waiters {
+                            trace::with_request_id(w.trace_id, || {
+                                trace::emit(TraceEvent::CacheHit)
+                            });
                             cached.push((w, report.clone()));
                         }
                         continue;
                     }
                     misses += waiters.len() as u64;
+                    for w in &waiters {
+                        trace::with_request_id(w.trace_id, || trace::emit(TraceEvent::CacheMiss));
+                    }
                     match ledger.inflight.get_mut(&key) {
                         // another worker owns this key: every waiter
                         // rides along and is answered by that owner
@@ -264,6 +326,8 @@ impl Shared {
             }
             Counters::bump(&self.counters.cache_hits, hits);
             Counters::bump(&self.counters.cache_misses, misses);
+            metrics.cache_hits.add(hits);
+            metrics.cache_misses.add(misses);
             self.respond_many(cached.into_iter().map(|(w, report)| (w, Ok(report))));
             if to_run.is_empty() {
                 continue;
@@ -278,9 +342,15 @@ impl Shared {
             // and the worker keeps serving.
             let seeds: Vec<u64> = to_run.iter().map(|(s, _)| *s).collect();
             Counters::bump(&self.counters.engine_executions, seeds.len() as u64);
+            // correlate engine-side trace events with the request that
+            // opened the group (a batch executes as one unit)
+            let group_trace_id = to_run
+                .iter()
+                .find_map(|(_, ws)| ws.first().map(|w| w.trace_id))
+                .unwrap_or(0);
             let outcome: Result<Vec<RunReport>, ServeError> =
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.engine.run_batch(task, &seeds)
+                    trace::with_request_id(group_trace_id, || self.engine.run_batch(task, &seeds))
                 })) {
                     Ok(Ok(reports)) => Ok(reports),
                     Ok(Err(err)) => Err(ServeError::Engine(err)),
@@ -355,7 +425,19 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
     // one batch buffer per session, reused across windows — dispatch
     // drains it in place instead of taking a fresh allocation each time
     let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
+    // queue-depth gauge + QueueDequeue trace event, correlated to the
+    // request just taken off the queue
+    let note_dequeue = |p: &Pending| {
+        let depth = rx.len();
+        serve_metrics().queue_depth.set(depth as i64);
+        trace::with_request_id(p.trace_id, || {
+            trace::emit(TraceEvent::QueueDequeue {
+                depth: depth.min(u32::MAX as usize) as u32,
+            });
+        });
+    };
     while let Ok(first) = rx.recv() {
+        note_dequeue(&first);
         batch.push(first);
         // The deadline is computed lazily, only once the queue actually
         // runs dry: while requests are already queued (the loaded-server
@@ -366,6 +448,7 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
         while batch.len() < max_batch {
             match rx.try_recv() {
                 Ok(p) => {
+                    note_dequeue(&p);
                     batch.push(p);
                     continue;
                 }
@@ -381,7 +464,10 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
                 break;
             };
             match rx.recv_timeout(remaining) {
-                Ok(p) => batch.push(p),
+                Ok(p) => {
+                    note_dequeue(&p);
+                    batch.push(p);
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -442,7 +528,7 @@ impl Server {
                 inflight: HashMap::new(),
             }),
             counters: Counters::default(),
-            latency: Mutex::new(LatencyRecorder::new(config.latency_window.max(1))),
+            latency: Histogram::new(),
             probe: rx.clone(),
             started_at: Instant::now(),
             config,
@@ -485,7 +571,9 @@ impl Server {
     /// backpressure contract: the caller, not the server, decides
     /// whether to retry, degrade, or fail upstream.
     pub fn try_submit(&self, task: Task, seed: u64) -> Result<Ticket, SubmitError> {
+        let metrics = serve_metrics();
         Counters::bump(&self.shared.counters.submitted, 1);
+        metrics.submitted.inc();
         let Some(queue) = &self.queue else {
             return Err(SubmitError::ShuttingDown);
         };
@@ -495,14 +583,20 @@ impl Server {
             .admission_watermark
             .unwrap_or(queue.capacity())
             .clamp(1, queue.capacity());
+        metrics.watermark.set(watermark as i64);
         let (pending, ticket) = Self::make_request(task, seed);
+        let trace_id = pending.trace_id;
         // the depth check and the enqueue are one atomic operation:
         // checking `len()` first would let concurrent producers all
         // observe a below-watermark depth and overshoot it together
         match queue.try_send_below(pending, watermark) {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                self.note_enqueue(trace_id);
+                Ok(ticket)
+            }
             Err(TrySendError::Full(_, depth)) => {
                 Counters::bump(&self.shared.counters.rejected, 1);
+                metrics.rejected.inc();
                 Err(SubmitError::Overloaded {
                     queue_depth: depth,
                     watermark,
@@ -517,14 +611,31 @@ impl Server {
     /// shedding).
     pub fn submit(&self, task: Task, seed: u64) -> Result<Ticket, SubmitError> {
         Counters::bump(&self.shared.counters.submitted, 1);
+        serve_metrics().submitted.inc();
         let Some(queue) = &self.queue else {
             return Err(SubmitError::ShuttingDown);
         };
         let (pending, ticket) = Self::make_request(task, seed);
+        let trace_id = pending.trace_id;
         queue
             .send(pending)
-            .map(|()| ticket)
+            .map(|()| {
+                self.note_enqueue(trace_id);
+                ticket
+            })
             .map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Records an accepted enqueue: the process-wide queue-depth gauge
+    /// and a [`TraceEvent::QueueEnqueue`] correlated to the request.
+    fn note_enqueue(&self, trace_id: u64) {
+        let depth = self.shared.probe.len();
+        serve_metrics().queue_depth.set(depth as i64);
+        trace::with_request_id(trace_id, || {
+            trace::emit(TraceEvent::QueueEnqueue {
+                depth: depth.min(u32::MAX as usize) as u32,
+            });
+        });
     }
 
     /// Convenience: blocking submit + wait. Use
@@ -539,11 +650,16 @@ impl Server {
 
     fn make_request(task: Task, seed: u64) -> (Pending, Ticket) {
         let (tx, rx) = mpsc::channel();
+        let trace_id = match trace::current_request_id() {
+            0 => trace::next_request_id(),
+            id => id,
+        };
         (
             Pending {
                 task,
                 seed,
                 submitted_at: Instant::now(),
+                trace_id,
                 tx,
             },
             Ticket { rx, task, seed },
@@ -554,12 +670,7 @@ impl Server {
     /// the snapshot is consistent enough for telemetry, not a barrier).
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
-        let (p50, p99) = self
-            .shared
-            .latency
-            .lock()
-            .expect("latency lock poisoned")
-            .percentiles();
+        let (p50, p99) = latency_percentiles(&self.shared.latency);
         ServerStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),

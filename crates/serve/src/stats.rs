@@ -1,8 +1,10 @@
-//! Serving observability: lock-free counters, a latency reservoir, and
-//! the [`ServerStats`] snapshot.
+//! Serving observability: lock-free counters, latency percentiles off
+//! the shared `lds-obs` histogram, and the [`ServerStats`] snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use lds_obs::Histogram;
 
 /// Monotonic event counters bumped on the request path. All relaxed:
 /// each counter is an independent tally, never used to synchronize.
@@ -38,52 +40,20 @@ impl Counters {
     }
 }
 
-/// A fixed-size ring of the most recent request latencies, recorded at
-/// response time with the same wall clocks the engine's `Phase`
-/// breakdown uses. Percentiles are computed over the retained window
-/// (the last `capacity` requests), which is the standard trade for a
-/// dependency-free p50/p99 with bounded memory.
-pub(crate) struct LatencyRecorder {
-    ring: Vec<u64>,
-    /// Window size (`Vec::capacity` is only a lower bound, so the
-    /// modulus is stored explicitly).
-    window: usize,
-    next: usize,
-}
-
-impl LatencyRecorder {
-    pub(crate) fn new(window: usize) -> Self {
-        let window = window.max(1);
-        LatencyRecorder {
-            ring: Vec::with_capacity(window.min(65536)),
-            window,
-            next: 0,
-        }
-    }
-
-    pub(crate) fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        if self.ring.len() < self.window {
-            self.ring.push(ns);
-        } else {
-            self.ring[self.next] = ns;
-        }
-        self.next = (self.next + 1) % self.window;
-    }
-
-    /// `(p50, p99)` over the retained window (zeros when empty).
-    pub(crate) fn percentiles(&self) -> (Duration, Duration) {
-        if self.ring.is_empty() {
-            return (Duration::ZERO, Duration::ZERO);
-        }
-        let mut sorted = self.ring.clone();
-        sorted.sort_unstable();
-        let at = |q: f64| {
-            let i = ((sorted.len() - 1) as f64 * q).round() as usize;
-            Duration::from_nanos(sorted[i])
-        };
-        (at(0.50), at(0.99))
-    }
+/// `(p50, p99)` of a latency [`Histogram`] as durations (zeros when
+/// empty). The histogram replaced the old hand-rolled latency ring:
+/// recording is now a lock-free atomic bump (no reservoir mutex on the
+/// response path), the percentiles cover the server's whole lifetime
+/// instead of a sliding window, and the same bucket counts are
+/// exported through the process metrics registry (`Op::Metrics`, text
+/// exposition) — one definition of latency everywhere. Quantiles are
+/// bucket midpoints, within ~6% relative error.
+pub(crate) fn latency_percentiles(histogram: &Histogram) -> (Duration, Duration) {
+    let snap = histogram.snapshot();
+    (
+        Duration::from_nanos(snap.quantile(0.50)),
+        Duration::from_nanos(snap.quantile(0.99)),
+    )
 }
 
 /// A point-in-time snapshot of a server's counters and latency
@@ -240,24 +210,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_over_a_window() {
-        let mut rec = LatencyRecorder::new(100);
-        let (p50, p99) = rec.percentiles();
+    fn percentiles_from_the_histogram() {
+        let hist = Histogram::new();
+        let (p50, p99) = latency_percentiles(&hist);
         assert_eq!((p50, p99), (Duration::ZERO, Duration::ZERO));
         for i in 1..=100u64 {
-            rec.record(Duration::from_nanos(i));
+            hist.record_duration(Duration::from_nanos(i));
         }
-        let (p50, p99) = rec.percentiles();
-        // index = round(99 · q): p50 → sorted[50] = 51, p99 → sorted[98] = 99
+        let (p50, p99) = latency_percentiles(&hist);
+        // bucket midpoints: the 50th value (50 ns) lands in [50, 52) →
+        // 51; the 99th (99 ns) lands in [96, 100) → 98
         assert_eq!(p50, Duration::from_nanos(51));
-        assert_eq!(p99, Duration::from_nanos(99));
-        // the ring retains only the most recent `capacity` samples
-        for _ in 0..100 {
-            rec.record(Duration::from_nanos(7));
+        assert_eq!(p99, Duration::from_nanos(98));
+        // the histogram aggregates over the server lifetime (no sliding
+        // window): a burst of small latencies pulls the median down but
+        // the old tail stays visible in p99
+        for _ in 0..10_000 {
+            hist.record_duration(Duration::from_nanos(7));
         }
-        let (p50, p99) = rec.percentiles();
+        let (p50, p99) = latency_percentiles(&hist);
         assert_eq!(p50, Duration::from_nanos(7));
-        assert_eq!(p99, Duration::from_nanos(7));
+        assert!(p99 >= Duration::from_nanos(7));
     }
 
     #[test]
@@ -326,5 +299,109 @@ mod tests {
         let rendered = stats.to_string();
         assert!(rendered.contains("hit rate 33.3%"));
         assert!(rendered.contains("peak 12"));
+    }
+
+    #[test]
+    fn display_snapshot_is_stable() {
+        // pins the exact rendering across the latency-recorder →
+        // histogram swap: the public `Display` shape is a compatibility
+        // surface (operators grep it)
+        let stats = ServerStats {
+            submitted: 100,
+            rejected: 10,
+            completed: 88,
+            failed: 2,
+            cache_hits: 30,
+            cache_misses: 60,
+            engine_executions: 45,
+            batches: 15,
+            batched_requests: 90,
+            queue_depth: 0,
+            peak_queue_depth: 12,
+            p50_latency: Duration::from_micros(500),
+            p99_latency: Duration::from_millis(4),
+            uptime: Duration::from_secs(2),
+        };
+        let expected = "\
+requests: 100 submitted, 88 completed, 2 failed, 10 rejected
+cache:    30 hits / 60 misses (hit rate 33.3%), 15 deduped in flight
+engine:   45 executions in 15 batches (mean coalescing 6.00x)
+queue:    depth 0 (peak 12)
+latency:  p50 0.500 ms, p99 4.000 ms; throughput 44 req/s over 2.00 s";
+        assert_eq!(stats.to_string(), expected);
+    }
+
+    #[test]
+    fn since_with_reset_counters_saturates_at_zero() {
+        // a restarted server reports smaller lifetime counters than the
+        // interval baseline; the delta must clamp to zero, not wrap
+        let mk = |n: u64, uptime_s| ServerStats {
+            submitted: n,
+            rejected: n / 2,
+            completed: n,
+            failed: n / 4,
+            cache_hits: n,
+            cache_misses: n,
+            engine_executions: n,
+            batches: n,
+            batched_requests: n,
+            queue_depth: 1,
+            peak_queue_depth: 3,
+            p50_latency: Duration::from_micros(10),
+            p99_latency: Duration::from_micros(20),
+            uptime: Duration::from_secs(uptime_s),
+        };
+        let earlier = mk(1000, 500);
+        let later = mk(4, 2); // post-reset: everything smaller
+        let delta = later.since(&earlier);
+        assert_eq!(delta.submitted, 0);
+        assert_eq!(delta.rejected, 0);
+        assert_eq!(delta.completed, 0);
+        assert_eq!(delta.failed, 0);
+        assert_eq!(delta.cache_hits, 0);
+        assert_eq!(delta.cache_misses, 0);
+        assert_eq!(delta.engine_executions, 0);
+        assert_eq!(delta.batches, 0);
+        assert_eq!(delta.batched_requests, 0);
+        // uptime saturates too, so rates divide by zero safely
+        assert_eq!(delta.uptime, Duration::ZERO);
+        assert_eq!(delta.throughput(), 0.0);
+        // point-in-time fields still pass through from `self`
+        assert_eq!(delta.queue_depth, later.queue_depth);
+        assert_eq!(delta.peak_queue_depth, later.peak_queue_depth);
+        assert_eq!(delta.p50_latency, later.p50_latency);
+        assert_eq!(delta.p99_latency, later.p99_latency);
+    }
+
+    #[test]
+    fn since_over_an_empty_window_is_all_zero() {
+        // two interval queries with no traffic in between: every delta
+        // is zero, every derived rate is a well-defined zero
+        let snap = ServerStats {
+            submitted: 42,
+            rejected: 1,
+            completed: 40,
+            failed: 1,
+            cache_hits: 7,
+            cache_misses: 33,
+            engine_executions: 30,
+            batches: 9,
+            batched_requests: 40,
+            queue_depth: 0,
+            peak_queue_depth: 5,
+            p50_latency: Duration::from_micros(100),
+            p99_latency: Duration::from_micros(300),
+            uptime: Duration::from_secs(60),
+        };
+        let delta = snap.since(&snap.clone());
+        assert_eq!(delta.submitted, 0);
+        assert_eq!(delta.completed, 0);
+        assert_eq!(delta.uptime, Duration::ZERO);
+        assert_eq!(delta.throughput(), 0.0);
+        assert_eq!(delta.cache_hit_rate(), 0.0);
+        assert_eq!(delta.mean_batch_size(), 0.0);
+        assert_eq!(delta.deduped(), 0);
+        // the windowed percentile fields are not deltas and survive
+        assert_eq!(delta.p50_latency, snap.p50_latency);
     }
 }

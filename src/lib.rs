@@ -39,6 +39,12 @@
 //!   a TCP [`net::NetServer`] over the engine registry, and a blocking
 //!   [`net::Client`] — served reports are bit-identical to in-process
 //!   execution.
+//! * [`obs`] — the unified observability layer: a process-wide
+//!   [`obs::MetricsRegistry`] of lock-free counters/gauges/histograms,
+//!   a sampled span/event tracer with request-id correlation, and the
+//!   [`obs::RoundLedger`] checking measured round complexity against
+//!   the paper's bounds. Scrape in-process via [`obs::global`], or over
+//!   the wire via `net::Client::metrics` / `Op::Metrics`.
 //!
 //! # Quickstart
 //!
@@ -82,6 +88,7 @@ pub use lds_gibbs as gibbs;
 pub use lds_graph as graph;
 pub use lds_localnet as localnet;
 pub use lds_net as net;
+pub use lds_obs as obs;
 pub use lds_oracle as oracle;
 pub use lds_runtime as runtime;
 pub use lds_serve as serve;

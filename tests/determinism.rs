@@ -69,7 +69,11 @@ fn engine_for(spec: &ModelSpec, threads: usize) -> Engine {
     .unwrap_or_else(|e| panic!("{}: {e:?}", spec.name()))
 }
 
-/// Bitwise equality of two reports, ignoring only wall-clock times.
+/// Bitwise equality of two reports, ignoring only the
+/// execution-strategy fields. The per-field asserts give readable
+/// failure diagnostics; the closing [`RunReport::semantic_eq`] check is
+/// the canonical definition (shared with the serving and net suites)
+/// and catches any report field the list here does not yet name.
 fn assert_reports_identical(a: &RunReport, b: &RunReport, context: &str) {
     assert_eq!(a.task, b.task, "{context}: task");
     assert_eq!(a.seed, b.seed, "{context}: seed");
@@ -148,6 +152,7 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, context: &str) {
     let pa: Vec<(&str, usize)> = a.phases.iter().map(|p| (p.name, p.rounds)).collect();
     let pb: Vec<(&str, usize)> = b.phases.iter().map(|p| (p.name, p.rounds)).collect();
     assert_eq!(pa, pb, "{context}: phases");
+    assert!(a.semantic_eq(b), "{context}: semantic_eq disagrees");
 }
 
 #[test]

@@ -19,6 +19,7 @@ use lds::gibbs::{Config, PartialConfig, Value};
 use lds::graph::{EdgeId, GraphBuilder, HyperEdgeId, Hypergraph, NodeId};
 use lds::net::codec::{Wire, Writer, PHASE_NAMES};
 use lds::net::{EngineSpec, Op, Reply, Request, Response, WireError};
+use lds::obs::{HistogramSnapshot, MetricsSnapshot};
 use lds::runtime::Phase;
 use lds::serve::ServerStats;
 use proptest::prelude::*;
@@ -293,6 +294,39 @@ fn arb_server_stats() -> impl Strategy<Value = ServerStats> {
         )
 }
 
+fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..12),
+    )
+        .prop_map(|(count, sum, max, buckets)| HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        })
+}
+
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec((arb_metric_name(), any::<u64>()), 0..6),
+        proptest::collection::vec((arb_metric_name(), any::<i64>()), 0..6),
+        proptest::collection::vec((arb_metric_name(), arb_histogram_snapshot()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
 fn arb_wire_error() -> impl Strategy<Value = WireError> {
     (
         0u8..7,
@@ -319,7 +353,7 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
 fn arb_request() -> impl Strategy<Value = Request> {
     (
         any::<u64>(),
-        0u8..4,
+        0u8..5,
         arb_spec(),
         any::<u64>(),
         arb_task(),
@@ -335,31 +369,33 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     task,
                     seed: x.rotate_left(13),
                 },
-                _ => Op::Stats {
+                3 => Op::Stats {
                     fingerprint: x,
                     interval,
                 },
+                _ => Op::Metrics,
             },
         })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        any::<u64>(),
-        0u8..5,
+        (any::<u64>(), 0u8..6),
         arb_report(),
         arb_server_stats(),
         arb_wire_error(),
+        arb_metrics_snapshot(),
         any::<u64>(),
     )
-        .prop_map(|(id, tag, report, stats, error, fp)| Response {
+        .prop_map(|((id, tag), report, stats, error, metrics, fp)| Response {
             id,
             reply: match tag {
                 0 => Reply::Pong,
                 1 => Reply::Registered { fingerprint: fp },
                 2 => Reply::Report(Box::new(report)),
                 3 => Reply::Stats(Box::new(stats)),
-                _ => Reply::Error(error),
+                4 => Reply::Error(error),
+                _ => Reply::Metrics(Box::new(metrics)),
             },
         })
 }
@@ -413,6 +449,22 @@ proptest! {
     }
 
     #[test]
+    fn metrics_snapshots_round_trip(snapshot in arb_metrics_snapshot()) {
+        assert_round_trip(&snapshot)?;
+        // MetricsSnapshot has PartialEq: value-level agreement too
+        prop_assert_eq!(
+            MetricsSnapshot::from_bytes(&snapshot.to_bytes()).unwrap(),
+            snapshot
+        );
+    }
+
+    #[test]
+    fn histogram_snapshots_round_trip(h in arb_histogram_snapshot()) {
+        assert_round_trip(&h)?;
+        prop_assert_eq!(HistogramSnapshot::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
     fn requests_and_responses_round_trip(req in arb_request(), resp in arb_response()) {
         assert_round_trip(&req)?;
         assert_round_trip(&resp)?;
@@ -429,6 +481,8 @@ proptest! {
         let _ = RunReport::from_bytes(&bytes);
         let _ = ServerStats::from_bytes(&bytes);
         let _ = WireError::from_bytes(&bytes);
+        let _ = MetricsSnapshot::from_bytes(&bytes);
+        let _ = HistogramSnapshot::from_bytes(&bytes);
         let _ = Request::from_bytes(&bytes);
         let _ = Response::from_bytes(&bytes);
     }

@@ -38,22 +38,16 @@ fn ising_spec(n: usize) -> EngineSpec {
     )
 }
 
-/// The deterministic bits of a report: its wire encoding with the
-/// execution telemetry (wall clocks, sharding stats) removed. Two
-/// reports of the same `(fingerprint, task, seed)` must agree on these
-/// bytes exactly — in process or over TCP, at any thread width. The
-/// removed fields describe *how* the run executed, which legitimately
-/// differs between a direct `run_with_seed` (intra-run sharding) and
-/// the serve layer's `run_batch` (parallel across seeds, each seed on a
-/// sequential inner pool).
-fn deterministic_bits(report: &RunReport) -> Vec<u8> {
-    let mut r = report.clone();
-    r.wall_time = Duration::ZERO;
-    for p in &mut r.phases {
-        p.wall_time = Duration::ZERO;
-    }
-    r.sharding = None;
-    r.to_bytes()
+/// Two reports of the same `(fingerprint, task, seed)` must agree on
+/// every semantic field — in process or over TCP, at any thread width.
+/// [`RunReport::semantic_eq`] is the shared definition of that
+/// agreement: it excludes only the execution-strategy fields (wall
+/// clocks, sharding telemetry), which legitimately differ between a
+/// direct `run_with_seed` (intra-run sharding) and the serve layer's
+/// `run_batch` (parallel across seeds, each seed on a sequential
+/// inner pool).
+fn assert_same_answer(a: &RunReport, b: &RunReport, context: &str) {
+    assert!(a.semantic_eq(b), "{context}:\n{a:?}\nvs\n{b:?}");
 }
 
 #[test]
@@ -89,10 +83,10 @@ fn served_reports_are_bit_identical_across_two_interleaved_tenants() {
     for (fp, seed, report) in &served {
         let engine = if *fp == fp_hc { &hc } else { &is };
         let direct = engine.run_with_seed(Task::SampleExact, *seed).unwrap();
-        assert_eq!(
-            deterministic_bits(report),
-            deterministic_bits(&direct),
-            "wire report for seed {seed} diverged from in-process execution"
+        assert_same_answer(
+            report,
+            &direct,
+            &format!("wire report for seed {seed} diverged from in-process execution"),
         );
     }
     server.shutdown();
@@ -122,7 +116,7 @@ fn concurrent_clients_get_consistent_answers() {
     for handle in handles {
         for (seed, report) in handle.join().unwrap() {
             let expect = direct.run_with_seed(Task::SampleExact, seed).unwrap();
-            assert_eq!(deterministic_bits(&report), deterministic_bits(&expect));
+            assert_same_answer(&report, &expect, &format!("seed {seed}"));
         }
     }
     server.shutdown();

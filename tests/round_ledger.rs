@@ -1,0 +1,145 @@
+//! Round-complexity observables against the paper's bounds.
+//!
+//! Every sampling execution records into the process-wide
+//! [`lds::obs::RoundLedger`]: measured chromatic rounds against the
+//! engine's `bound_rounds` (the paper's round formula evaluated with
+//! the engine's calibration constant, which absorbs the Linial–Saks
+//! tail), and — on the Glauber backend — measured sweeps against
+//! the resolved mixing plan. A measured value past its bound is a
+//! **hard error** here, not a logged curiosity: the bound is the
+//! theorem being reproduced.
+//!
+//! These run in the CI `LDS_THREADS` determinism matrix: engines are
+//! built without an explicit width, so the bound holds at widths 1, 4,
+//! and 8. (The tests in this binary share one global ledger; each only
+//! ever appends passing observations, so they compose under the
+//! parallel test runner.)
+
+use lds::core::regime;
+use lds::engine::{Backend, Engine, ModelSpec, SweepBudget, Task};
+use lds::graph::{generators, Hypergraph, NodeId};
+use lds::obs::ObservableKind;
+
+fn triangle_hypergraph() -> Hypergraph {
+    Hypergraph::new(
+        6,
+        vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(2), NodeId(3), NodeId(4)],
+            vec![NodeId(4), NodeId(5), NodeId(0)],
+        ],
+    )
+}
+
+/// All Corollary 5.3 applications (Ising and the general two-spin
+/// system both instantiate the fourth bullet).
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Hardcore { lambda: 1.0 },
+        ModelSpec::Matching { lambda: 1.5 },
+        ModelSpec::Ising {
+            beta: -0.2,
+            field: 0.1,
+        },
+        ModelSpec::TwoSpin {
+            beta: 0.8,
+            gamma: 0.9,
+            lambda: 1.0,
+            rate: 0.5,
+        },
+        ModelSpec::Coloring { q: 4 },
+        ModelSpec::HypergraphMatching { lambda: 0.1 },
+    ]
+}
+
+fn engine_for(spec: &ModelSpec) -> Engine {
+    let builder = Engine::builder()
+        .model(spec.clone())
+        .epsilon(0.01)
+        .delta(0.05);
+    match spec {
+        ModelSpec::HypergraphMatching { .. } => builder.hypergraph(triangle_hypergraph()),
+        _ => builder.graph(generators::cycle(8)),
+    }
+    .build()
+    .unwrap_or_else(|e| panic!("{}: {e:?}", spec.name()))
+}
+
+/// Measured chromatic rounds stay within the paper's bound on every
+/// model, and the ledger records each execution as a clean observation.
+#[test]
+fn measured_rounds_stay_within_the_paper_bound_on_every_model() {
+    for spec in specs() {
+        let engine = engine_for(&spec);
+        for task in [Task::SampleExact, Task::SampleApprox] {
+            for seed in [0u64, 7, 1_000_003] {
+                let report = engine.run_with_seed(task, seed).unwrap();
+                assert!(
+                    (report.rounds as f64) <= report.bound_rounds,
+                    "{} {:?} seed {}: measured {} rounds > bound {}",
+                    spec.name(),
+                    task,
+                    seed,
+                    report.rounds,
+                    report.bound_rounds
+                );
+            }
+        }
+    }
+    // the same executions were recorded as ledger observables, and the
+    // hard-error form agrees with the per-report asserts above
+    let ledger = lds::obs::ledger();
+    let summary = ledger.summary();
+    assert!(summary.observations >= 12, "ledger recorded {summary:?}");
+    assert_eq!(summary.violations, 0, "bound violations: {summary:?}");
+    assert!(
+        summary.max_ratio <= 1.0,
+        "some observable exceeded its bound: {summary:?}"
+    );
+    ledger.check().expect("ledger bound check must be clean");
+    assert!(ledger
+        .observations()
+        .iter()
+        .any(|o| o.kind == ObservableKind::ChromaticRounds));
+}
+
+/// A Glauber-served run performs exactly the sweeps its resolved plan
+/// prescribes — the plan from `regime::glauber_plan` on the engine's
+/// fitted rate, the carrier size, and δ — and the ledger records the
+/// equality as a sweep observable.
+#[test]
+fn glauber_sweeps_match_the_resolved_plan() {
+    let n = 10;
+    let delta = 0.05;
+    let engine = Engine::builder()
+        .model(ModelSpec::Hardcore { lambda: 1.0 })
+        .graph(generators::cycle(n))
+        .epsilon(0.01)
+        .delta(delta)
+        .backend(Backend::Glauber {
+            sweeps: SweepBudget::Auto,
+        })
+        .build()
+        .expect("in regime");
+    let report = engine.run_with_seed(Task::SampleApprox, 3).unwrap();
+    let plan = regime::glauber_plan(report.rate, n, delta).expect("rate below ceiling");
+    assert_eq!(
+        report.glauber_sweeps(),
+        Some(plan.sweeps as u32),
+        "served sweep budget must be the resolved plan"
+    );
+    assert_eq!(
+        report.glauber.as_ref().expect("glauber stats").sweeps,
+        plan.sweeps,
+        "executed sweeps must equal the plan"
+    );
+    let ledger = lds::obs::ledger();
+    assert!(
+        ledger
+            .observations()
+            .iter()
+            .any(|o| o.kind == ObservableKind::GlauberSweeps),
+        "no sweep observable recorded"
+    );
+    ledger.check().expect("sweep observable must be clean");
+}

@@ -25,23 +25,11 @@ fn hardcore_engine(n: usize) -> Arc<Engine> {
     )
 }
 
-/// The output-bit fields of a report (everything except wall clocks):
-/// configuration values, rounds, seed, and the acceptance-product bits.
-type OutputBits = (Vec<u32>, usize, u64, Option<u64>);
-
-fn output_bits(r: &RunReport) -> OutputBits {
-    (
-        r.config()
-            .expect("sampling task")
-            .values()
-            .iter()
-            .map(|v| v.index() as u32)
-            .collect(),
-        r.rounds,
-        r.seed,
-        r.stats.as_ref().map(|s| s.acceptance_product.to_bits()),
-    )
-}
+// Report agreement is asserted through `RunReport::semantic_eq` — the
+// one definition of "same answer" shared by the determinism, serving,
+// and net round-trip suites. It covers every output field bit-for-bit
+// and excludes only the execution-strategy fields (wall clocks,
+// sharding telemetry) that legitimately vary between runs.
 
 #[test]
 fn concurrent_identical_requests_are_bit_identical_and_execute_once() {
@@ -75,10 +63,9 @@ fn concurrent_identical_requests_are_bit_identical_and_execute_once() {
         .collect();
     let reports: Vec<RunReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     for report in &reports {
-        assert_eq!(
-            output_bits(report),
-            output_bits(&direct),
-            "served answer diverged from direct execution"
+        assert!(
+            report.semantic_eq(&direct),
+            "served answer diverged from direct execution:\n{report:?}\nvs\n{direct:?}"
         );
     }
     let stats = server.stats();
@@ -100,7 +87,7 @@ fn served_outputs_are_identical_across_pool_widths() {
     // engines: every answer must be bit-identical (the runtime's
     // stream-derivation contract, surfaced end to end through the
     // serving layer)
-    let mut by_width: Vec<Vec<OutputBits>> = Vec::new();
+    let mut by_width: Vec<Vec<RunReport>> = Vec::new();
     for width in [1usize, 4] {
         let engine = Arc::new(
             Engine::builder()
@@ -115,17 +102,17 @@ fn served_outputs_are_identical_across_pool_widths() {
         let tickets: Vec<_> = (0..12u64)
             .map(|seed| server.try_submit(Task::SampleExact, seed).unwrap())
             .collect();
-        by_width.push(
-            tickets
-                .into_iter()
-                .map(|t| output_bits(&t.wait().unwrap()))
-                .collect(),
+        by_width.push(tickets.into_iter().map(|t| t.wait().unwrap()).collect());
+    }
+    let (w1, w4) = (&by_width[0], &by_width[1]);
+    assert_eq!(w1.len(), w4.len());
+    for (a, b) in w1.iter().zip(w4) {
+        assert!(
+            a.semantic_eq(b),
+            "serving results changed with pool width at seed {}:\n{a:?}\nvs\n{b:?}",
+            a.seed
         );
     }
-    assert_eq!(
-        by_width[0], by_width[1],
-        "serving results changed with pool width"
-    );
 }
 
 #[test]
