@@ -42,7 +42,7 @@ use lds_localnet::local::LocalRun;
 use lds_localnet::scheduler::{self, ChromaticSchedule, ShardingStats};
 use lds_localnet::slocal::{ScanKernel, SlocalKernel};
 use lds_localnet::Network;
-use lds_runtime::ThreadPool;
+use lds_runtime::{CancelToken, Cancelled, ThreadPool};
 
 /// Base randomness stream tag for Glauber sweeps: sweep `s` draws each
 /// node's randomness from stream `STREAM_GLAUBER + s`. Stream tags pack
@@ -274,15 +274,45 @@ pub fn sample_glauber_with(
     GlauberStats,
     GlauberTimings,
 ) {
+    sample_glauber_cancellable_with(net, sweeps, stream, pool, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`sample_glauber_with`] with cooperative cancellation: the token is
+/// threaded into every chromatic pass (checked between color rounds) and
+/// checked once per sweep. Checks consume no randomness, so a completed
+/// run is bit-identical to the uncancellable one; a cancelled run
+/// returns `Err(`[`Cancelled`]`)` with no partial result.
+pub fn sample_glauber_cancellable_with(
+    net: &Network,
+    sweeps: usize,
+    stream: u64,
+    pool: &ThreadPool,
+    cancel: &CancelToken,
+) -> Result<
+    (
+        LocalRun<Value>,
+        ChromaticSchedule,
+        GlauberStats,
+        GlauberTimings,
+    ),
+    Cancelled,
+> {
     let n = net.node_count();
     let locality = net.instance().model().locality().max(1);
     let start = Instant::now();
+    cancel.check()?;
     let schedule = scheduler::chromatic_schedule(net, locality, stream);
     let schedule_wall = start.elapsed();
 
     let start = Instant::now();
-    let (ground, mut sharding) =
-        scheduler::run_kernel_chromatic_with_stats(net, &GreedyGroundKernel, &schedule, pool);
+    let (ground, mut sharding) = scheduler::run_kernel_chromatic_cancellable(
+        net,
+        &GreedyGroundKernel,
+        &schedule,
+        pool,
+        cancel,
+    )?;
     let ground_wall = start.elapsed();
 
     let mut config = Config::from_values(ground.outputs);
@@ -294,8 +324,10 @@ pub fn sample_glauber_with(
     };
     let start = Instant::now();
     for s in 0..sweeps {
+        cancel.check()?;
         let kernel = GlauberKernel::new(Arc::new(config), stream_for_sweep(s));
-        let (run, pass) = scheduler::run_kernel_chromatic_with_stats(net, &kernel, &schedule, pool);
+        let (run, pass) =
+            scheduler::run_kernel_chromatic_cancellable(net, &kernel, &schedule, pool, cancel)?;
         sharding.merge(&pass);
         stats.site_updates += run.resampled as u64;
         stats.last_sweep_changes = run.changed;
@@ -307,7 +339,7 @@ pub fn sample_glauber_with(
         .map(|v| ground.failures[v] || schedule.failed[v])
         .collect();
     let rounds = schedule.rounds * (sweeps + 1);
-    (
+    Ok((
         LocalRun {
             outputs: config.values().to_vec(),
             failures,
@@ -321,7 +353,7 @@ pub fn sample_glauber_with(
             sweeps: sweeps_wall,
             sharding,
         },
-    )
+    ))
 }
 
 /// The randomness stream for sweep `s`: distinct per sweep so each sweep

@@ -44,7 +44,7 @@ use lds_localnet::slocal::{
 };
 use lds_localnet::Network;
 use lds_oracle::MultiplicativeInference;
-use lds_runtime::ThreadPool;
+use lds_runtime::{CancelToken, Cancelled, ThreadPool};
 use rand::Rng;
 
 /// Randomness stream for pass 2 (sampling `Y`).
@@ -191,24 +191,51 @@ where
         schedule: &ChromaticSchedule,
         pool: &ThreadPool,
     ) -> (JvvOutcome, JvvPassTimings) {
+        self.run_scheduled_cancellable(net, schedule, pool, &CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// [`LocalJvv::run_scheduled`] with cooperative cancellation: the
+    /// token is threaded into each pass's chromatic runner (checked
+    /// between color rounds) and checked between passes. Checks consume
+    /// no randomness, so a completed run is bit-identical to the
+    /// uncancellable one; a cancelled run returns `Err(`[`Cancelled`]`)`
+    /// with no partial outcome.
+    pub fn run_scheduled_cancellable(
+        &self,
+        net: &Network,
+        schedule: &ChromaticSchedule,
+        pool: &ThreadPool,
+        cancel: &CancelToken,
+    ) -> Result<(JvvOutcome, JvvPassTimings), Cancelled> {
         let mut timings = JvvPassTimings::default();
         let start = Instant::now();
-        let (ground, stats) =
-            scheduler::run_kernel_chromatic_with_stats(net, &self.ground_kernel(), schedule, pool);
+        let (ground, stats) = scheduler::run_kernel_chromatic_cancellable(
+            net,
+            &self.ground_kernel(),
+            schedule,
+            pool,
+            cancel,
+        )?;
         timings.ground = start.elapsed();
         timings.sharding.merge(&stats);
         let start = Instant::now();
-        let (sampled, stats) =
-            scheduler::run_kernel_chromatic_with_stats(net, &self.chain_kernel(), schedule, pool);
+        let (sampled, stats) = scheduler::run_kernel_chromatic_cancellable(
+            net,
+            &self.chain_kernel(),
+            schedule,
+            pool,
+            cancel,
+        )?;
         timings.sample = start.elapsed();
         timings.sharding.merge(&stats);
         let start = Instant::now();
         let reject = self.reject_kernel(net, &schedule.order, ground, sampled);
         let (outcome, stats) =
-            scheduler::run_kernel_chromatic_with_stats(net, &reject, schedule, pool);
+            scheduler::run_kernel_chromatic_cancellable(net, &reject, schedule, pool, cancel)?;
         timings.reject = start.elapsed();
         timings.sharding.merge(&stats);
-        (outcome, timings)
+        Ok((outcome, timings))
     }
 
     /// The full **pre-refactor** three-pass sequential execution:
@@ -1028,20 +1055,48 @@ pub fn sample_exact_local_with<O: MultiplicativeInference + Clone + Send + Sync 
     JvvStats,
     ExactSampleTimings,
 ) {
+    sample_exact_local_cancellable_with(net, oracle, eps, stream, pool, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`sample_exact_local_with`] with cooperative cancellation threaded
+/// through all three passes (checked between color rounds and between
+/// passes). A cancelled run returns `Err(`[`Cancelled`]`)` with no
+/// partial result; a completed run is bit-identical to the
+/// uncancellable one.
+pub fn sample_exact_local_cancellable_with<
+    O: MultiplicativeInference + Clone + Send + Sync + 'static,
+>(
+    net: &Network,
+    oracle: &O,
+    eps: f64,
+    stream: u64,
+    pool: &ThreadPool,
+    cancel: &CancelToken,
+) -> Result<
+    (
+        LocalRun<Value>,
+        ChromaticSchedule,
+        JvvStats,
+        ExactSampleTimings,
+    ),
+    Cancelled,
+> {
     let model = net.instance().model();
     let ell = model.locality().max(1);
     let t = oracle.radius_mul(model, eps);
     let locality = multipass_locality(&[t, t, 3 * t + ell]);
     let start = Instant::now();
+    cancel.check()?;
     let schedule = scheduler::chromatic_schedule(net, locality, stream);
     let schedule_wall = start.elapsed();
     let jvv = LocalJvv::new(oracle, eps);
-    let (outcome, passes) = jvv.run_scheduled(net, &schedule, pool);
+    let (outcome, passes) = jvv.run_scheduled_cancellable(net, &schedule, pool, cancel)?;
     let n = net.node_count();
     let failures: Vec<bool> = (0..n)
         .map(|v| outcome.run.failures[v] || schedule.failed[v])
         .collect();
-    (
+    Ok((
         LocalRun {
             outputs: outcome.run.outputs,
             failures,
@@ -1053,7 +1108,7 @@ pub fn sample_exact_local_with<O: MultiplicativeInference + Clone + Send + Sync 
             schedule: schedule_wall,
             passes,
         },
-    )
+    ))
 }
 
 #[cfg(test)]

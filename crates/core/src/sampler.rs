@@ -20,7 +20,7 @@ use lds_localnet::scheduler::{self, ChromaticSchedule, ShardingStats};
 use lds_localnet::slocal::{self, SlocalAlgorithm, SlocalKernel, SlocalRun};
 use lds_localnet::Network;
 use lds_oracle::InferenceOracle;
-use lds_runtime::ThreadPool;
+use lds_runtime::{CancelToken, Cancelled, ThreadPool};
 
 /// Randomness stream tag for the sequential sampler (distinct streams
 /// decorrelate passes that share the network seed).
@@ -126,19 +126,37 @@ pub fn sample_local_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
     stream: u64,
     pool: &ThreadPool,
 ) -> (LocalRun<Value>, ChromaticSchedule, ApproxSampleTimings) {
+    sample_local_cancellable_with(net, oracle, delta, stream, pool, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`sample_local_with`] with cooperative cancellation threaded into the
+/// chromatic runner (checked between color rounds). Checks consume no
+/// randomness, so a completed run is bit-identical to the uncancellable
+/// one; a cancelled run returns `Err(`[`Cancelled`]`)` with no partial
+/// result.
+pub fn sample_local_cancellable_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
+    net: &Network,
+    oracle: &O,
+    delta: f64,
+    stream: u64,
+    pool: &ThreadPool,
+    cancel: &CancelToken,
+) -> Result<(LocalRun<Value>, ChromaticSchedule, ApproxSampleTimings), Cancelled> {
     let sampler = SequentialSampler::new(oracle.clone(), delta);
     let n = net.node_count();
     let start = Instant::now();
+    cancel.check()?;
     let schedule = scheduler::chromatic_schedule(net, sampler.locality(n), stream);
     let schedule_wall = start.elapsed();
     let start = Instant::now();
     let (run, sharding) =
-        scheduler::run_kernel_chromatic_with_stats(net, &sampler, &schedule, pool);
+        scheduler::run_kernel_chromatic_cancellable(net, &sampler, &schedule, pool, cancel)?;
     let scan_wall = start.elapsed();
     let failures: Vec<bool> = (0..n)
         .map(|v| run.failures[v] || schedule.failed[v])
         .collect();
-    (
+    Ok((
         LocalRun {
             outputs: run.outputs,
             failures,
@@ -150,7 +168,7 @@ pub fn sample_local_with<O: InferenceOracle + Clone + Send + Sync + 'static>(
             scan: scan_wall,
             sharding,
         },
-    )
+    ))
 }
 
 #[cfg(test)]

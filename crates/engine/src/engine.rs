@@ -14,7 +14,7 @@ use lds_gibbs::{Config, PartialConfig};
 use lds_graph::{Graph, Hypergraph, NodeId};
 use lds_localnet::{Instance, Network};
 use lds_oracle::{DecayRate, TwoSpinSawOracle};
-use lds_runtime::{Phase, ThreadPool};
+use lds_runtime::{CancelToken, Phase, ThreadPool};
 
 use crate::backend::{self, ApproxPath, Backend, ServedBackend, SweepBudget};
 use crate::error::EngineError;
@@ -650,7 +650,30 @@ impl Engine {
     /// [`Task::Infer`]; [`EngineError::CountFailed`] — carrying the
     /// broken invariant — if the count estimator fails.
     pub fn run_with_seed(&self, task: Task, seed: u64) -> Result<RunReport, EngineError> {
-        self.core.run_with_seed_on(task, seed, &self.core.pool)
+        self.core
+            .run_with_seed_on(task, seed, &self.core.pool, &CancelToken::never())
+    }
+
+    /// [`Engine::run_with_seed`] under an optional absolute deadline.
+    ///
+    /// The deadline is enforced cooperatively: checked at admission and
+    /// between color rounds of the chromatic runners, never mid-round,
+    /// so the checks consume no randomness and a run that completes in
+    /// time is **bit-identical** to the same `(task, seed)` without a
+    /// deadline. A run that misses its deadline returns
+    /// [`EngineError::DeadlineExceeded`] and no partial report.
+    pub fn run_with_deadline(
+        &self,
+        task: Task,
+        seed: u64,
+        deadline: Option<Instant>,
+    ) -> Result<RunReport, EngineError> {
+        self.core.run_with_seed_on(
+            task,
+            seed,
+            &self.core.pool,
+            &CancelToken::with_deadline_opt(deadline),
+        )
     }
 
     /// Serves the same task once per seed — the single hot path for
@@ -673,12 +696,27 @@ impl Engine {
     /// Fails fast with the first task error in seed order (reports of
     /// other seeds are discarded).
     pub fn run_batch(&self, task: Task, seeds: &[u64]) -> Result<Vec<RunReport>, EngineError> {
+        self.run_batch_with_deadline(task, seeds, None)
+    }
+
+    /// [`Engine::run_batch`] under an optional absolute deadline shared
+    /// by every seed in the batch (the serving layer's coalesced-group
+    /// deadline). Enforcement is cooperative — see
+    /// [`Engine::run_with_deadline`]; a seed that misses the deadline
+    /// fails the whole batch with [`EngineError::DeadlineExceeded`].
+    pub fn run_batch_with_deadline(
+        &self,
+        task: Task,
+        seeds: &[u64],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<RunReport>, EngineError> {
         let core = Arc::clone(&self.core);
+        let cancel = CancelToken::with_deadline_opt(deadline);
         self.core
             .pool
             .par_map_bounded(
                 seeds,
-                move |&seed| core.run_with_seed_on(task, seed, &ThreadPool::sequential()),
+                move |&seed| core.run_with_seed_on(task, seed, &ThreadPool::sequential(), &cancel),
                 self.core.host_lanes,
             )
             .into_iter()
@@ -812,8 +850,22 @@ impl EngineCore {
         task: Task,
         seed: u64,
         pool: &ThreadPool,
+        cancel: &CancelToken,
     ) -> Result<RunReport, EngineError> {
         let start = Instant::now();
+        // admission: an already-expired deadline never starts the run
+        cancel.check().map_err(|_| EngineError::DeadlineExceeded)?;
+        // fail point at the task boundary: with the lds-chaos registry
+        // armed, an `Error` fault here models the marginal oracle
+        // failing at a chosen call index (Trigger::Nth picks which run)
+        if let Some(fault) = lds_chaos::point("engine.oracle_error") {
+            match fault {
+                lds_chaos::Fault::Error(message) => return Err(EngineError::Faulted(message)),
+                lds_chaos::Fault::Delay(d) => std::thread::sleep(d),
+                lds_chaos::Fault::Panic => panic!("injected fault: engine.oracle_error"),
+                _ => {}
+            }
+        }
         let model = self.instance.model();
         let handle = self.oracle_handle();
         type Served = (
@@ -831,7 +883,15 @@ impl EngineCore {
                 Task::SampleExact => {
                     let net = Network::from_shared(Arc::clone(&self.instance), seed);
                     let (run, _schedule, stats, timings) =
-                        jvv::sample_exact_local_with(&net, &handle, self.epsilon, 0, pool);
+                        jvv::sample_exact_local_cancellable_with(
+                            &net,
+                            &handle,
+                            self.epsilon,
+                            0,
+                            pool,
+                            cancel,
+                        )
+                        .map_err(|_| EngineError::DeadlineExceeded)?;
                     let config = Config::from_values(run.outputs.clone());
                     let decoded = self.decode(&config);
                     let phases = vec![
@@ -860,8 +920,10 @@ impl EngineCore {
                     }
                     Ok(ApproxPath::Chain) => {
                         let net = Network::from_shared(Arc::clone(&self.instance), seed);
-                        let (run, _schedule, timings) =
-                            sampler::sample_local_with(&net, &handle, self.delta, 0, pool);
+                        let (run, _schedule, timings) = sampler::sample_local_cancellable_with(
+                            &net, &handle, self.delta, 0, pool, cancel,
+                        )
+                        .map_err(|_| EngineError::DeadlineExceeded)?;
                         let config = Config::from_values(run.outputs.clone());
                         let decoded = self.decode(&config);
                         let phases = vec![
@@ -883,7 +945,14 @@ impl EngineCore {
                         let sweeps = *sweeps;
                         let net = Network::from_shared(Arc::clone(&self.instance), seed);
                         let (run, _schedule, gstats, timings) =
-                            glauber::sample_glauber_with(&net, sweeps as usize, 0, pool);
+                            glauber::sample_glauber_cancellable_with(
+                                &net,
+                                sweeps as usize,
+                                0,
+                                pool,
+                                cancel,
+                            )
+                            .map_err(|_| EngineError::DeadlineExceeded)?;
                         let config = Config::from_values(run.outputs.clone());
                         let decoded = self.decode(&config);
                         let phases = vec![

@@ -65,6 +65,19 @@ pub enum EngineError {
         /// values.
         cause: OutOfRegime,
     },
+    /// The run's deadline expired before it completed. The run was
+    /// cancelled cooperatively between color rounds and produced **no
+    /// partial report** — re-running the same `(task, seed)` without a
+    /// deadline yields the bit-identical report the timed-out run would
+    /// have produced.
+    DeadlineExceeded,
+    /// An injected fault fired at the marginal-oracle fail point
+    /// (`engine.oracle_error`) — only reachable with the `lds-chaos`
+    /// registry armed; carries the fault's message.
+    Faulted(
+        /// The injected fault's message.
+        String,
+    ),
 }
 
 impl std::fmt::Display for EngineError {
@@ -95,6 +108,10 @@ impl std::fmt::Display for EngineError {
                     "backend `{backend}` unavailable for this instance: {cause}"
                 )
             }
+            EngineError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the run completed")
+            }
+            EngineError::Faulted(message) => write!(f, "injected fault: {message}"),
         }
     }
 }

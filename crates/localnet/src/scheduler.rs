@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use lds_graph::{power, traversal, Graph, NodeId};
 use lds_obs::trace::{self, TraceEvent};
-use lds_runtime::{streams, StreamRng, ThreadPool};
+use lds_runtime::{streams, CancelToken, Cancelled, StreamRng, ThreadPool};
 
 /// Chromatic-runner observability handles, resolved once. Counters are
 /// bumped per color round (not per node), and the trace events are
@@ -325,14 +325,38 @@ pub fn run_kernel_chromatic_with_stats<K>(
 where
     K: ScanKernel + Clone + Send + Sync + 'static,
 {
+    run_kernel_chromatic_cancellable(net, kernel, schedule, pool, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`run_kernel_chromatic_with_stats`] with cooperative cancellation.
+///
+/// The token is checked at the **start of every color round** and once
+/// before the unclustered tail — never inside a round — so a run that
+/// completes is bit-identical to the same run without a token (checks
+/// consume no randomness), and a cancelled run returns
+/// `Err(`[`Cancelled`]`)` having produced no partial result. This is
+/// the enforcement point for per-request deadlines: the engine wraps a
+/// deadline in a [`CancelToken`] and maps `Cancelled` into its typed
+/// `DeadlineExceeded`.
+pub fn run_kernel_chromatic_cancellable<K>(
+    net: &Network,
+    kernel: &K,
+    schedule: &ChromaticSchedule,
+    pool: &ThreadPool,
+    cancel: &CancelToken,
+) -> Result<(K::Run, ShardingStats), Cancelled>
+where
+    K: ScanKernel + Clone + Send + Sync + 'static,
+{
     let mut stats = ShardingStats::default();
     if pool.is_sequential() {
         // the sequential scan is the same execution without the
         // per-cluster projections — one state for the whole schedule
-        return (
-            crate::slocal::run_scan_sequential(net, kernel, &schedule.order),
+        return Ok((
+            crate::slocal::run_scan_sequential_cancellable(net, kernel, &schedule.order, cancel)?,
             stats,
-        );
+        ));
     }
     let n = net.node_count();
     let halos = schedule.halos(net.instance().model().graph());
@@ -347,6 +371,7 @@ where
     let mut arena: Vec<(K::State, (usize, usize))> = Vec::new();
     let metrics = runner_metrics();
     for (color, clusters) in schedule.color_clusters.iter().enumerate() {
+        cancel.check()?;
         if let [cluster] = clusters.as_slice() {
             // a single cluster this color: scan it inline on the global
             // state — same execution, no projection, no fan-out
@@ -438,12 +463,13 @@ where
             clusters: round_clusters,
         });
     }
+    cancel.check()?;
     for &v in &schedule.tail {
         if let Some(e) = kernel.process(net, &mut state, v) {
             effects.push((v, e));
         }
     }
-    (kernel.finish(net, state, effects), stats)
+    Ok((kernel.finish(net, state, effects), stats))
 }
 
 /// The **frozen pre-sharding** chromatic runner: full-state snapshot per

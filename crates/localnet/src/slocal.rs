@@ -16,6 +16,7 @@
 
 use lds_gibbs::{PartialConfig, Value};
 use lds_graph::NodeId;
+use lds_runtime::{CancelToken, Cancelled};
 
 use crate::Network;
 
@@ -288,14 +289,36 @@ pub fn run_scan_sequential<K: ScanKernel + ?Sized>(
     kernel: &K,
     order: &[NodeId],
 ) -> K::Run {
+    run_scan_sequential_cancellable(net, kernel, order, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// How many nodes the sequential scan processes between cancellation
+/// checks. Chunked so a real deadline token (whose check reads the
+/// clock) costs `O(n / CHUNK)` clock reads, not `O(n)`.
+const CANCEL_CHECK_STRIDE: usize = 256;
+
+/// [`run_scan_sequential`] with cooperative cancellation, checked every
+/// `CANCEL_CHECK_STRIDE` nodes. Checks consume no randomness, so a
+/// scan that completes is bit-identical to the uncancellable one; a
+/// cancelled scan returns `Err(`[`Cancelled`]`)` with no partial result.
+pub fn run_scan_sequential_cancellable<K: ScanKernel + ?Sized>(
+    net: &Network,
+    kernel: &K,
+    order: &[NodeId],
+    cancel: &CancelToken,
+) -> Result<K::Run, Cancelled> {
     let mut state = kernel.init(net);
     let mut effects = Vec::new();
-    for &v in order {
-        if let Some(e) = ScanKernel::process(kernel, net, &mut state, v) {
-            effects.push((v, e));
+    for chunk in order.chunks(CANCEL_CHECK_STRIDE) {
+        cancel.check()?;
+        for &v in chunk {
+            if let Some(e) = ScanKernel::process(kernel, net, &mut state, v) {
+                effects.push((v, e));
+            }
         }
     }
-    kernel.finish(net, state, effects)
+    Ok(kernel.finish(net, state, effects))
 }
 
 /// Runs a pinning-extension kernel as the classic sequential SLOCAL scan

@@ -63,7 +63,7 @@ pub mod proto;
 mod client;
 mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use codec::{CodecError, Wire};
 pub use frame::{FrameError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use proto::{EngineSpec, Op, Reply, Request, Response, WireError};

@@ -15,6 +15,7 @@
 //! [`WireError::UnknownFingerprint`], never a hang or a panic.
 
 use std::fmt;
+use std::time::Duration;
 
 use lds_engine::{Backend, Engine, EngineError, ModelSpec, RunReport, Task, Topology};
 use lds_gibbs::PartialConfig;
@@ -113,6 +114,14 @@ pub enum Op {
         task: Task,
         /// The seed — with the fingerprint, the complete determinism key.
         seed: u64,
+        /// Optional time budget, **relative to arrival at the server**
+        /// (a relative budget survives clock skew; the server converts
+        /// it to an absolute deadline on receipt). An expired request is
+        /// answered [`WireError::Expired`]; a run cancelled mid-flight
+        /// returns a typed error, never a partial report. Encoded as a
+        /// trailing optional field — v1 peers that omit it decode as
+        /// `None`, so the extension is wire-compatible.
+        deadline: Option<Duration>,
     },
     /// Fetch a registered engine's serving statistics.
     Stats {
@@ -154,11 +163,13 @@ impl Wire for Request {
                 fingerprint,
                 task,
                 seed,
+                deadline,
             } => {
                 w.put_u8(2);
                 w.put_u64(*fingerprint);
                 task.encode(w);
                 w.put_u64(*seed);
+                deadline.encode(w);
             }
             Op::Stats {
                 fingerprint,
@@ -181,6 +192,12 @@ impl Wire for Request {
                 fingerprint: r.get_u64()?,
                 task: Task::decode(r)?,
                 seed: r.get_u64()?,
+                // tolerant trailing extension: a v1 frame ends here
+                deadline: if r.remaining() > 0 {
+                    Option::<Duration>::decode(r)?
+                } else {
+                    None
+                },
             },
             3 => Op::Stats {
                 fingerprint: r.get_u64()?,
@@ -220,6 +237,11 @@ pub enum WireError {
     Cancelled,
     /// The server could not decode the request payload.
     Malformed(String),
+    /// The request's deadline expired — at admission (it arrived
+    /// already out of budget) or cooperatively mid-run — before a
+    /// report was produced. Terminal for this deadline: retrying with
+    /// the same budget will expire again; re-issue with a larger one.
+    Expired,
 }
 
 impl fmt::Display for WireError {
@@ -240,6 +262,7 @@ impl fmt::Display for WireError {
             WireError::Engine(msg) => write!(f, "engine error: {msg}"),
             WireError::Cancelled => write!(f, "cancelled by server shutdown"),
             WireError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            WireError::Expired => write!(f, "deadline expired before completion"),
         }
     }
 }
@@ -275,6 +298,7 @@ impl Wire for WireError {
                 w.put_u8(6);
                 w.put_str(msg);
             }
+            WireError::Expired => w.put_u8(7),
         }
     }
 
@@ -290,6 +314,7 @@ impl Wire for WireError {
             4 => WireError::Engine(r.get_str()?.to_owned()),
             5 => WireError::Cancelled,
             6 => WireError::Malformed(r.get_str()?.to_owned()),
+            7 => WireError::Expired,
             t => return Err(CodecError::Malformed(format!("unknown error tag {t}"))),
         })
     }
@@ -424,9 +449,48 @@ mod tests {
             WireError::Engine("count failed".into()),
             WireError::Cancelled,
             WireError::Malformed("unknown op tag 9".into()),
+            WireError::Expired,
         ];
         for e in errors {
             assert_eq!(WireError::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn run_without_trailing_deadline_decodes_as_none() {
+        // a v1 Run frame: id + tag 2 + fingerprint + task + seed, no
+        // trailing optional — the v2 decoder must accept it
+        let mut w = Writer::new();
+        w.put_u64(9);
+        w.put_u8(2);
+        w.put_u64(0xfeed);
+        Task::SampleExact.encode(&mut w);
+        w.put_u64(7);
+        let req = Request::from_bytes(&w.into_bytes()).unwrap();
+        match req.op {
+            Op::Run { deadline, seed, .. } => {
+                assert_eq!(deadline, None);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+
+        // and the v2 encoding round-trips the budget
+        let req = Request {
+            id: 3,
+            op: Op::Run {
+                fingerprint: 1,
+                task: Task::Count,
+                seed: 2,
+                deadline: Some(Duration::from_millis(250)),
+            },
+        };
+        let back = Request::from_bytes(&req.to_bytes()).unwrap();
+        match back.op {
+            Op::Run { deadline, .. } => {
+                assert_eq!(deadline, Some(Duration::from_millis(250)));
+            }
+            other => panic!("wrong op: {other:?}"),
         }
     }
 }

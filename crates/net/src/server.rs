@@ -24,12 +24,13 @@
 //! accepted request), and `shutdown()`/`Drop` joins it all before
 //! returning.
 
-use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use lds_engine::EngineError;
 use lds_obs::trace::{self, TraceEvent};
 use lds_obs::{Counter, Histogram};
 use lds_runtime::channel::{self, Receiver, Sender};
@@ -278,10 +279,22 @@ fn reader_loop(
     shutdown: &ShutdownSignal,
 ) {
     loop {
+        // fail point: a stalled read models a session wedged on a slow
+        // peer — shutdown must still answer its buffered requests
+        if let Some(lds_chaos::Fault::Delay(d)) = lds_chaos::point("net.read_stall") {
+            thread::sleep(d);
+        }
         let payload = match read_frame_polled(stream, cfg.max_frame_len, shutdown) {
-            Ok(Some(payload)) => payload,
-            // clean EOF or shutdown: stop reading, let the writer drain
-            Ok(None) => return,
+            Ok(ReadOutcome::Frame(payload)) => payload,
+            // clean EOF at a frame boundary: stop reading, writer drains
+            Ok(ReadOutcome::CleanEof) => return,
+            // server shutdown: requests the peer already pipelined into
+            // the socket must not vanish — answer each buffered frame
+            // with a typed ShuttingDown before the session ends
+            Ok(ReadOutcome::Shutdown) => {
+                drain_buffered_requests(stream, tx, cfg);
+                return;
+            }
             // transport failure: nothing sensible left to say
             Err(FrameError::Io(_)) => return,
             // protocol violation in the header (bad magic, alien
@@ -376,22 +389,31 @@ fn dispatch(request: Request, registry: &EngineRegistry) -> Outgoing {
             fingerprint,
             task,
             seed,
+            deadline,
         } => match registry.get(fingerprint) {
             None => Reply::Error(WireError::UnknownFingerprint(fingerprint)),
-            Some(server) => match server.try_submit(task, seed) {
-                Ok(ticket) => return Outgoing::Ticket(id, ticket, started),
-                Err(SubmitError::Overloaded {
-                    queue_depth,
-                    watermark,
-                }) => {
-                    metrics.backpressure.inc();
-                    Reply::Error(WireError::Overloaded {
+            Some(server) => {
+                // the wire carries a budget relative to arrival (clock
+                // skew cannot expire it in transit); anchor it to an
+                // absolute instant here. A budget too large to
+                // represent degrades to "no deadline".
+                let deadline = deadline.and_then(|budget| started.checked_add(budget));
+                match server.try_submit_with_deadline(task, seed, deadline) {
+                    Ok(ticket) => return Outgoing::Ticket(id, ticket, started),
+                    Err(SubmitError::Overloaded {
                         queue_depth,
                         watermark,
-                    })
+                    }) => {
+                        metrics.backpressure.inc();
+                        Reply::Error(WireError::Overloaded {
+                            queue_depth,
+                            watermark,
+                        })
+                    }
+                    Err(SubmitError::ShuttingDown) => Reply::Error(WireError::ShuttingDown),
+                    Err(SubmitError::Expired) => Reply::Error(WireError::Expired),
                 }
-                Err(SubmitError::ShuttingDown) => Reply::Error(WireError::ShuttingDown),
-            },
+            }
         },
     };
     Outgoing::Ready(Response { id, reply })
@@ -408,7 +430,27 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig
                 // cancellation on serve-layer shutdown) — waiting here
                 // is what makes drain-on-shutdown complete
                 let reply = match ticket.wait() {
-                    Ok(report) => Reply::Report(Box::new(report)),
+                    Ok(report) => {
+                        // fail point: the execution completed but the
+                        // connection dies before the reply ships — the
+                        // reset the client's retry path must survive
+                        // via the idempotency cache (at-most-one
+                        // execution per (fingerprint, task, seed))
+                        if matches!(
+                            lds_chaos::point("net.conn_reset"),
+                            Some(lds_chaos::Fault::Reset)
+                        ) {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            peer_writable = false;
+                        }
+                        Reply::Report(Box::new(report))
+                    }
+                    // deadline misses map to one wire error whether the
+                    // budget ran out in the queue or mid-run
+                    Err(ServeError::Expired)
+                    | Err(ServeError::Engine(EngineError::DeadlineExceeded)) => {
+                        Reply::Error(WireError::Expired)
+                    }
                     Err(ServeError::Engine(e)) => Reply::Error(WireError::Engine(e.to_string())),
                     Err(ServeError::Cancelled) => Reply::Error(WireError::Cancelled),
                 };
@@ -425,6 +467,26 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig
                 });
             });
         }
+        if peer_writable {
+            // fail points on the write path: a delayed write (slow NIC,
+            // overfull socket buffer) and a torn frame (header plus a
+            // payload prefix, then the connection dies) — the torn case
+            // is what the client's frame decoder must fail typed on
+            if let Some(lds_chaos::Fault::Delay(d)) = lds_chaos::point("net.write_delay") {
+                thread::sleep(d);
+            }
+            if let Some(lds_chaos::Fault::TornWrite { keep }) = lds_chaos::point("net.write_torn") {
+                let keep = keep.min(bytes.len());
+                let mut torn = frame::encode_header(bytes.len() as u32).to_vec();
+                torn.extend_from_slice(&bytes[..keep]);
+                let _ = stream.write_all(&torn);
+                let _ = stream.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                metrics.backpressure.inc();
+                peer_writable = false;
+                continue;
+            }
+        }
         if peer_writable && frame::write_frame(&mut stream, &bytes, cfg.max_frame_len).is_err() {
             // the peer is gone or wedged past the write timeout: stop
             // writing, but keep draining tickets so accepted work is
@@ -435,51 +497,144 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Outgoing>, cfg: Arc<NetConfig
     }
 }
 
+/// Why a polled frame read stopped without producing a frame — the
+/// reader must tell shutdown apart from a peer's orderly close, because
+/// only shutdown owes the peer `ShuttingDown` answers for frames it
+/// already pipelined into the socket.
+enum ReadOutcome {
+    /// One complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    CleanEof,
+    /// The server's shutdown signal fired mid-read.
+    Shutdown,
+}
+
+/// Why [`read_full`] stopped before filling the buffer.
+enum ReadStop {
+    CleanEof,
+    Shutdown,
+}
+
 /// Reads one frame, re-checking the shutdown signal at every read
-/// timeout. `Ok(None)` means "stop reading" (clean EOF at a frame
-/// boundary, or shutdown).
+/// timeout.
 fn read_frame_polled(
     stream: &mut TcpStream,
     max_len: u32,
     shutdown: &ShutdownSignal,
-) -> Result<Option<Vec<u8>>, FrameError> {
+) -> Result<ReadOutcome, FrameError> {
     let mut header = [0u8; HEADER_LEN];
-    if !read_full(stream, &mut header, shutdown, true)? {
-        return Ok(None);
+    match read_full(stream, &mut header, shutdown, true)? {
+        Some(ReadStop::CleanEof) => return Ok(ReadOutcome::CleanEof),
+        Some(ReadStop::Shutdown) => return Ok(ReadOutcome::Shutdown),
+        None => {}
     }
     let len = frame::parse_header(&header, max_len)?;
     let mut payload = vec![0u8; len as usize];
-    if !read_full(stream, &mut payload, shutdown, false)? {
-        return Ok(None);
+    // mid-frame shutdown (a mid-frame "clean" stop cannot happen): the
+    // partial frame is abandoned, the drain answers whole ones
+    if read_full(stream, &mut payload, shutdown, false)?.is_some() {
+        return Ok(ReadOutcome::Shutdown);
     }
-    Ok(Some(payload))
+    Ok(ReadOutcome::Frame(payload))
 }
 
-/// Fills `buf`, retrying through read timeouts. Returns `false` when
-/// reading should stop without an error: shutdown, or (only when
-/// `clean_eof_ok` and nothing was consumed) an orderly close. EOF
-/// mid-frame is an [`io::ErrorKind::UnexpectedEof`] error.
+/// Fills `buf`, retrying through read timeouts. `Ok(None)` means the
+/// buffer was filled; `Ok(Some(stop))` says why reading should stop
+/// without an error: shutdown, or (only when `clean_eof_ok` and nothing
+/// was consumed) an orderly close. EOF mid-frame is an
+/// [`io::ErrorKind::UnexpectedEof`] error.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shutdown: &ShutdownSignal,
     clean_eof_ok: bool,
-) -> Result<bool, FrameError> {
+) -> Result<Option<ReadStop>, FrameError> {
     let mut pos = 0;
     while pos < buf.len() {
         if shutdown.is_triggered() {
-            return Ok(false);
+            return Ok(Some(ReadStop::Shutdown));
         }
         match stream.read(&mut buf[pos..]) {
             Ok(0) => {
                 if clean_eof_ok && pos == 0 {
-                    return Ok(false);
+                    return Ok(Some(ReadStop::CleanEof));
                 }
                 return Err(FrameError::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-frame",
                 )));
             }
+            Ok(n) => pos += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(None)
+}
+
+/// The shutdown drain: requests the peer pipelined before the server
+/// began shutting down are already buffered in the socket — each whole
+/// frame still readable within one poll interval is answered with a
+/// typed [`WireError::ShuttingDown`] (echoing its request id) instead
+/// of vanishing into a closed connection. Bounded by a deadline so a
+/// peer that keeps streaming cannot hold the session open.
+fn drain_buffered_requests(stream: &mut TcpStream, tx: &Sender<Outgoing>, cfg: &NetConfig) {
+    let deadline = Instant::now() + cfg.poll_interval;
+    while let Ok(Some(payload)) = read_frame_bounded(stream, cfg.max_frame_len, deadline) {
+        let id = Reader::new(&payload).get_u64().unwrap_or(0);
+        let resp = Response {
+            id,
+            reply: Reply::Error(WireError::ShuttingDown),
+        };
+        if tx.send(Outgoing::Ready(resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads one frame, giving up (cleanly) at `deadline` or on EOF —
+/// the drain companion of [`read_frame_polled`].
+fn read_frame_bounded(
+    stream: &mut TcpStream,
+    max_len: u32,
+    deadline: Instant,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full_until(stream, &mut header, deadline)? {
+        return Ok(None);
+    }
+    let len = frame::parse_header(&header, max_len)?;
+    let mut payload = vec![0u8; len as usize];
+    if !read_full_until(stream, &mut payload, deadline)? {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// Fills `buf`, retrying through read timeouts until `deadline`.
+/// Returns `false` on deadline or EOF (the drain treats both as "done").
+fn read_full_until(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<bool, FrameError> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        if Instant::now() >= deadline {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[pos..]) {
+            Ok(0) => return Ok(false),
             Ok(n) => pos += n,
             Err(e)
                 if matches!(

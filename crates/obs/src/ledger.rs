@@ -135,7 +135,7 @@ impl RoundLedger {
         self.violations.load(Ordering::Relaxed)
     }
 
-    /// The retained observations (most recent [`RETAINED`]).
+    /// The retained observations (most recent `RETAINED`).
     pub fn observations(&self) -> Vec<RoundObservation> {
         self.observations.lock().expect("round ledger lock").clone()
     }

@@ -234,8 +234,16 @@ impl<T> Receiver<T> {
     /// Dequeues, blocking at most `timeout`. This is the coalescing
     /// window primitive: a worker that already holds one request waits
     /// here for more compatible ones before dispatching the batch.
+    ///
+    /// The deadline is computed **once** and every re-wait after a
+    /// wakeup (spurious or racing — another receiver may have taken the
+    /// item that woke us) uses the *remaining* time, so repeated
+    /// wakeups can never stretch the total wait beyond `timeout`. A
+    /// `timeout` too large to represent as an absolute `Instant`
+    /// (e.g. `Duration::MAX`) degrades to waiting without a deadline
+    /// instead of panicking on `Instant` overflow.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         loop {
             if let Some(item) = inner.queue.pop_front() {
@@ -246,6 +254,11 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
+            let Some(deadline) = deadline else {
+                // unrepresentable deadline: effectively recv()
+                inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+                continue;
+            };
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(RecvTimeoutError::Timeout);
             };
@@ -443,6 +456,58 @@ mod tests {
         drop(tx);
         assert_eq!(
             rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_does_not_drift_under_repeated_wakeups() {
+        // Regression shape for the classic condvar bug where each
+        // wakeup restarts the *full* timeout. A receiver waits 60 ms on
+        // a channel that a producer notifies every 5 ms for ~500 ms
+        // while a stealing consumer keeps the queue empty: if re-waits
+        // used the full timeout, the wait would be pushed out to the
+        // end of the notification storm (~560 ms). With remaining-time
+        // re-waits it ends within the timeout (or earlier, if this
+        // receiver happens to win an item race — equally fine).
+        let (tx, rx) = bounded::<u64>(64);
+        let thief = rx.clone();
+        let stealer = thread::spawn(move || while thief.recv().is_ok() {});
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..100u64 {
+                    if tx.send(i).is_err() {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let start = Instant::now();
+        let _ = rx.recv_timeout(Duration::from_millis(60));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "recv_timeout(60ms) took {elapsed:?} under notification storm — timeout drift"
+        );
+        producer.join().unwrap();
+        drop(tx);
+        drop(rx);
+        stealer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_with_unrepresentable_deadline_does_not_panic() {
+        // Duration::MAX overflows `Instant + Duration`; the wait must
+        // degrade to "no deadline", not panic.
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_send(11).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(11));
+        // empty queue + disconnected sender exercises the wait path
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::MAX),
             Err(RecvTimeoutError::Disconnected)
         );
     }

@@ -19,6 +19,11 @@
 //!   "full" state is an admission-control signal (`try_send` →
 //!   overload rejection) and whose `recv_timeout` is the coalescing
 //!   window. `lds-serve` builds on this.
+//! * [`CancelToken`] — cooperative cancellation checked *between*
+//!   units of work (color rounds, sweeps). A check consumes no
+//!   randomness, so deadline-bounded runs that complete are
+//!   bit-identical to unbounded ones; `lds-engine` maps a cancelled
+//!   run into its typed `DeadlineExceeded`.
 //! * [`ShutdownSignal`] — a cloneable level-triggered stop flag with
 //!   parked waiting, the broadcast bit a network front door
 //!   (`lds-net`) uses to stop accepting, drain in-flight sessions, and
@@ -38,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 pub mod channel;
 mod phase;
 mod pool;
 mod shutdown;
 mod stream;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use phase::Phase;
 pub use pool::ThreadPool;
 pub use shutdown::ShutdownSignal;

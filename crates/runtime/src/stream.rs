@@ -36,6 +36,10 @@ pub mod streams {
     pub const NODE: u64 = 0x0de5;
     /// Instance/workload generation (random graphs in benches, tests).
     pub const WORKLOAD: u64 = 0x3019;
+    /// Fault-injection schedules (the `lds-chaos` fail-point registry).
+    /// A distinct domain so armed chaos plans can never perturb the
+    /// randomness any algorithm consumes.
+    pub const CHAOS: u64 = 0xc4a0;
 }
 
 /// A derivation key for an independent RNG stream.

@@ -2,7 +2,7 @@
 //! dispatch, idempotent completion.
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -35,6 +35,11 @@ struct ServeMetrics {
     queue_depth: Arc<lds_obs::Gauge>,
     /// The admission watermark in force at the most recent submit.
     watermark: Arc<lds_obs::Gauge>,
+    /// Requests answered [`ServeError::Expired`] (or shed at admission
+    /// with [`SubmitError::Expired`]) because their deadline passed.
+    deadline_misses: Arc<lds_obs::Counter>,
+    /// Worker sessions respawned by the supervisor after a panic.
+    worker_restarts: Arc<lds_obs::Counter>,
 }
 
 fn serve_metrics() -> &'static ServeMetrics {
@@ -51,6 +56,8 @@ fn serve_metrics() -> &'static ServeMetrics {
             batched_requests: reg.counter("serve_batched_requests"),
             queue_depth: reg.gauge("serve_queue_depth"),
             watermark: reg.gauge("serve_admission_watermark"),
+            deadline_misses: reg.counter("serve_deadline_misses"),
+            worker_restarts: reg.counter("serve_worker_restarts"),
         }
     })
 }
@@ -120,6 +127,9 @@ pub enum SubmitError {
     },
     /// The server has been shut down.
     ShuttingDown,
+    /// The request arrived with an already-expired deadline; it was
+    /// never queued and nothing executed.
+    Expired,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -133,6 +143,7 @@ impl std::fmt::Display for SubmitError {
                 "server overloaded: queue depth {queue_depth} at watermark {watermark}"
             ),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::Expired => write!(f, "deadline already expired at admission"),
         }
     }
 }
@@ -149,6 +160,13 @@ pub enum ServeError {
     /// The server dropped the request without an answer (shutdown or a
     /// worker failure mid-dispatch).
     Cancelled,
+    /// The request's deadline passed while it waited in the queue; it
+    /// was answered without executing. (A deadline missed *during*
+    /// execution surfaces as
+    /// `ServeError::Engine(EngineError::DeadlineExceeded)` — the
+    /// engine's cooperative cancellation.) Deadline outcomes are never
+    /// cached: a later retry with a larger budget re-executes.
+    Expired,
 }
 
 impl std::fmt::Display for ServeError {
@@ -156,6 +174,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Cancelled => write!(f, "request cancelled by the server"),
+            ServeError::Expired => write!(f, "deadline expired while queued"),
         }
     }
 }
@@ -164,7 +183,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
-            ServeError::Cancelled => None,
+            ServeError::Cancelled | ServeError::Expired => None,
         }
     }
 }
@@ -203,6 +222,11 @@ struct Pending {
     task: Task,
     seed: u64,
     submitted_at: Instant,
+    /// Absolute deadline, if the caller set one. Checked when the
+    /// request is dispatched (queue-expired requests are answered
+    /// [`ServeError::Expired`] without executing) and propagated into
+    /// the engine's cooperative cancellation for the run itself.
+    deadline: Option<Instant>,
     /// Trace-correlation id: inherited from the caller's in-scope
     /// request id (a net session propagates its wire request id this
     /// way) or freshly allocated, so queue/cache/dispatch events for
@@ -243,6 +267,10 @@ struct Shared {
     /// signalled by dropping the *sender*).
     probe: channel::Receiver<Pending>,
     started_at: Instant,
+    /// Worker sessions respawned after a panic (see [`supervise`]).
+    /// Kept off [`ServerStats`] so the wire shape is unchanged; read it
+    /// via [`Server::worker_restarts`].
+    worker_restarts: AtomicU64,
 }
 
 impl Shared {
@@ -276,6 +304,23 @@ impl Shared {
     /// allocation across coalescing windows.
     fn dispatch(self: &Arc<Self>, batch: &mut Vec<Pending>) {
         let metrics = serve_metrics();
+        // requests whose deadline passed while queued are answered
+        // Expired before any claiming; the common all-unbounded batch
+        // skips this with one scan and no clock read
+        if batch.iter().any(|p| p.deadline.is_some()) {
+            let now = Instant::now();
+            let (expired, live): (Vec<Pending>, Vec<Pending>) = batch
+                .drain(..)
+                .partition(|p| p.deadline.is_some_and(|d| now >= d));
+            batch.extend(live);
+            if !expired.is_empty() {
+                metrics.deadline_misses.add(expired.len() as u64);
+                self.respond_many(expired.into_iter().map(|p| (p, Err(ServeError::Expired))));
+            }
+            if batch.is_empty() {
+                return;
+            }
+        }
         Counters::bump(&self.counters.batches, 1);
         Counters::bump(&self.counters.batched_requests, batch.len() as u64);
         metrics.batches.inc();
@@ -348,9 +393,30 @@ impl Shared {
                 .iter()
                 .find_map(|(_, ws)| ws.first().map(|w| w.trace_id))
                 .unwrap_or(0);
+            // a batch executes as one unit, so it can only carry a
+            // deadline every member agreed to: the laxest (max) one,
+            // and only when every claimed waiter is bounded — one
+            // unbounded waiter must not have its run cancelled by a
+            // sibling's budget
+            let group_deadline: Option<Instant> = if to_run
+                .iter()
+                .flat_map(|(_, ws)| ws)
+                .all(|w| w.deadline.is_some())
+            {
+                to_run
+                    .iter()
+                    .flat_map(|(_, ws)| ws)
+                    .filter_map(|w| w.deadline)
+                    .max()
+            } else {
+                None
+            };
             let outcome: Result<Vec<RunReport>, ServeError> =
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    trace::with_request_id(group_trace_id, || self.engine.run_batch(task, &seeds))
+                    trace::with_request_id(group_trace_id, || {
+                        self.engine
+                            .run_batch_with_deadline(task, &seeds, group_deadline)
+                    })
                 })) {
                     Ok(Ok(reports)) => Ok(reports),
                     Ok(Err(err)) => Err(ServeError::Engine(err)),
@@ -389,7 +455,12 @@ impl Shared {
                 Err(err) => {
                     // the execution fails (or panics) as a unit: every
                     // claimed seed of this group gets the error and its
-                    // inflight claim is released; nothing is cached
+                    // inflight claim is released; nothing is cached —
+                    // deadline outcomes in particular must not shadow a
+                    // later retry with a larger budget
+                    if matches!(err, ServeError::Engine(EngineError::DeadlineExceeded)) {
+                        metrics.deadline_misses.inc();
+                    }
                     let mut answered: Vec<(Vec<Pending>, Vec<Pending>)> =
                         Vec::with_capacity(to_run.len());
                     {
@@ -471,7 +542,41 @@ fn worker_loop(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        // fail points OUTSIDE dispatch's own panic containment: a
+        // `Panic` here unwinds the session mid-batch — the held
+        // pendings' responders drop (tickets answer typed Cancelled)
+        // and the supervisor respawns the session
+        if let Some(lds_chaos::Fault::Delay(d)) = lds_chaos::point("serve.queue_stall") {
+            thread::sleep(d);
+        }
+        if let Some(fault) = lds_chaos::point("serve.worker_panic") {
+            if matches!(fault, lds_chaos::Fault::Panic) {
+                panic!("injected fault: serve.worker_panic");
+            }
+        }
         shared.dispatch(&mut batch);
+    }
+}
+
+/// Runs one worker session under a supervisor: a clean exit (queue
+/// disconnected and drained) ends the session; a panic is contained,
+/// counted (`Server::worker_restarts`, obs `serve_worker_restarts`),
+/// and the session respawns on the same thread and keeps draining. The
+/// unwound batch's responders drop during the unwind, so every
+/// in-flight ticket of the dead session is answered with a typed
+/// [`ServeError::Cancelled`] — never left hanging.
+fn supervise(shared: Arc<Shared>, rx: channel::Receiver<Pending>) {
+    loop {
+        let session = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(Arc::clone(&shared), rx.clone())
+        }));
+        match session {
+            Ok(()) => return,
+            Err(_panic) => {
+                shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                serve_metrics().worker_restarts.inc();
+            }
+        }
     }
 }
 
@@ -531,6 +636,7 @@ impl Server {
             latency: Histogram::new(),
             probe: rx.clone(),
             started_at: Instant::now(),
+            worker_restarts: AtomicU64::new(0),
             config,
         });
         let workers = (0..shared.config.workers.max(1))
@@ -539,7 +645,7 @@ impl Server {
                 let rx = rx.clone();
                 thread::Builder::new()
                     .name(format!("lds-serve-{i}"))
-                    .spawn(move || worker_loop(shared, rx))
+                    .spawn(move || supervise(shared, rx))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -571,9 +677,34 @@ impl Server {
     /// backpressure contract: the caller, not the server, decides
     /// whether to retry, degrade, or fail upstream.
     pub fn try_submit(&self, task: Task, seed: u64) -> Result<Ticket, SubmitError> {
+        self.try_submit_with_deadline(task, seed, None)
+    }
+
+    /// [`Server::try_submit`] with an optional absolute deadline.
+    ///
+    /// An already-expired deadline is shed right here with
+    /// [`SubmitError::Expired`] — the request never queues and nothing
+    /// executes. An accepted deadline rides with the request: if it
+    /// passes while queued the answer is [`ServeError::Expired`]; if it
+    /// passes mid-run the engine cancels cooperatively and the answer
+    /// is `ServeError::Engine(EngineError::DeadlineExceeded)`. Either
+    /// way the caller always gets a typed answer, and deadline outcomes
+    /// are never cached.
+    pub fn try_submit_with_deadline(
+        &self,
+        task: Task,
+        seed: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let metrics = serve_metrics();
         Counters::bump(&self.shared.counters.submitted, 1);
         metrics.submitted.inc();
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            Counters::bump(&self.shared.counters.rejected, 1);
+            metrics.rejected.inc();
+            metrics.deadline_misses.inc();
+            return Err(SubmitError::Expired);
+        }
         let Some(queue) = &self.queue else {
             return Err(SubmitError::ShuttingDown);
         };
@@ -584,7 +715,7 @@ impl Server {
             .unwrap_or(queue.capacity())
             .clamp(1, queue.capacity());
         metrics.watermark.set(watermark as i64);
-        let (pending, ticket) = Self::make_request(task, seed);
+        let (pending, ticket) = Self::make_request(task, seed, deadline);
         let trace_id = pending.trace_id;
         // the depth check and the enqueue are one atomic operation:
         // checking `len()` first would let concurrent producers all
@@ -615,7 +746,7 @@ impl Server {
         let Some(queue) = &self.queue else {
             return Err(SubmitError::ShuttingDown);
         };
-        let (pending, ticket) = Self::make_request(task, seed);
+        let (pending, ticket) = Self::make_request(task, seed, None);
         let trace_id = pending.trace_id;
         queue
             .send(pending)
@@ -648,7 +779,7 @@ impl Server {
         }
     }
 
-    fn make_request(task: Task, seed: u64) -> (Pending, Ticket) {
+    fn make_request(task: Task, seed: u64, deadline: Option<Instant>) -> (Pending, Ticket) {
         let (tx, rx) = mpsc::channel();
         let trace_id = match trace::current_request_id() {
             0 => trace::next_request_id(),
@@ -659,11 +790,19 @@ impl Server {
                 task,
                 seed,
                 submitted_at: Instant::now(),
+                deadline,
                 trace_id,
                 tx,
             },
             Ticket { rx, task, seed },
         )
+    }
+
+    /// Worker sessions the supervisor has respawned after a panic.
+    /// Zero in fault-free operation; kept off [`ServerStats`] so the
+    /// wire shape is unchanged.
+    pub fn worker_restarts(&self) -> u64 {
+        self.shared.worker_restarts.load(Ordering::Relaxed)
     }
 
     /// A point-in-time stats snapshot (counters are relaxed atomics:

@@ -110,6 +110,7 @@ fn main() {
                 fingerprint: fp_h,
                 task: Task::SampleExact,
                 seed: 10_000 + seed,
+                deadline: None,
             }));
         }
         let (mut reports, mut shed) = (0u64, 0u64);

@@ -39,6 +39,10 @@
 //!   a TCP [`net::NetServer`] over the engine registry, and a blocking
 //!   [`net::Client`] — served reports are bit-identical to in-process
 //!   execution.
+//! * [`chaos`] — deterministic fault injection: a process-wide
+//!   fail-point registry (one relaxed load when disarmed) whose fault
+//!   schedules derive from a seed via [`runtime::StreamRng`], driving
+//!   the resilience tests for retry, deadlines, and supervision.
 //! * [`obs`] — the unified observability layer: a process-wide
 //!   [`obs::MetricsRegistry`] of lock-free counters/gauges/histograms,
 //!   a sampled span/event tracer with request-id correlation, and the
@@ -82,6 +86,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use lds_chaos as chaos;
 pub use lds_core as core;
 pub use lds_engine as engine;
 pub use lds_gibbs as gibbs;

@@ -329,7 +329,7 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
 
 fn arb_wire_error() -> impl Strategy<Value = WireError> {
     (
-        0u8..7,
+        0u8..8,
         any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..24),
     )
@@ -345,6 +345,7 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
                 3 => WireError::Rejected(msg),
                 4 => WireError::Engine(msg),
                 5 => WireError::Cancelled,
+                6 => WireError::Expired,
                 _ => WireError::Malformed(msg),
             }
         })
@@ -358,24 +359,28 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u64>(),
         arb_task(),
         any::<bool>(),
+        (any::<bool>(), arb_duration()),
     )
-        .prop_map(|(id, tag, spec, x, task, interval)| Request {
-            id,
-            op: match tag {
-                0 => Op::Ping,
-                1 => Op::Register(Box::new(spec)),
-                2 => Op::Run {
-                    fingerprint: x,
-                    task,
-                    seed: x.rotate_left(13),
+        .prop_map(
+            |(id, tag, spec, x, task, interval, (bounded, budget))| Request {
+                id,
+                op: match tag {
+                    0 => Op::Ping,
+                    1 => Op::Register(Box::new(spec)),
+                    2 => Op::Run {
+                        fingerprint: x,
+                        task,
+                        seed: x.rotate_left(13),
+                        deadline: bounded.then_some(budget),
+                    },
+                    3 => Op::Stats {
+                        fingerprint: x,
+                        interval,
+                    },
+                    _ => Op::Metrics,
                 },
-                3 => Op::Stats {
-                    fingerprint: x,
-                    interval,
-                },
-                _ => Op::Metrics,
             },
-        })
+        )
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -552,4 +557,85 @@ fn v1_spec_bytes_fail_typed_on_the_v2_decoder() {
     v2.pop(); // drop the trailing backend byte => the v1 layout
     let err = EngineSpec::from_bytes(&v2).expect_err("v1 spec bytes must not decode as v2");
     let _ = err.to_string();
+}
+
+/// One live server shared by every `soup` case below: the property is
+/// precisely that no hostile byte stream can damage it for the next
+/// connection, so reusing it across cases *is* the assertion.
+fn soup_server() -> std::net::SocketAddr {
+    use std::sync::OnceLock;
+    static SERVER: OnceLock<std::net::SocketAddr> = OnceLock::new();
+    *SERVER.get_or_init(|| {
+        let server = lds::net::NetServer::with_defaults("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        std::mem::forget(server); // lives for the whole test binary
+        addr
+    })
+}
+
+proptest! {
+    /// Mid-stream corruption: a well-formed request frame followed by
+    /// random byte soup on the same connection. The server must answer
+    /// the valid frame, then either reply typed (`Malformed`) or close
+    /// the connection cleanly — never panic, never desync into treating
+    /// soup bytes as a frame of the *next* connection.
+    #[test]
+    fn byte_soup_after_a_valid_frame_fails_typed_and_never_wedges(
+        soup in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        use std::io::{Read, Write};
+        let addr = soup_server();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        // a valid Ping frame, answered before the soup arrives
+        let ping = Request { id: 1, op: Op::Ping };
+        lds::net::frame::write_frame(&mut stream, &ping.to_bytes(), 1 << 20).unwrap();
+        let pong = lds::net::frame::read_frame(&mut stream, 1 << 20).unwrap();
+        let pong = Response::from_bytes(&pong).unwrap();
+        prop_assert!(matches!(pong.reply, Reply::Pong));
+
+        // now the soup — the reader sees it where a header belongs
+        stream.write_all(&soup).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+
+        // the server answers typed and/or closes; reading must
+        // terminate (never hang) and every complete frame must decode.
+        // A reset is a legitimate close here — the server tearing down
+        // a connection that still has unread soup buffered RSTs, which
+        // may also truncate its own final frame in transit.
+        let mut rest = Vec::new();
+        let reset = match stream.read_to_end(&mut rest) {
+            Ok(_) => false,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => true,
+            Err(e) => return Err(format!("reading the server's last words failed: {e}")),
+        };
+        let mut at = 0usize;
+        while rest.len() - at >= lds::net::frame::HEADER_LEN {
+            let header: [u8; lds::net::frame::HEADER_LEN] =
+                rest[at..at + lds::net::frame::HEADER_LEN].try_into().unwrap();
+            let len = lds::net::frame::parse_header(&header, 1 << 20).unwrap() as usize;
+            at += lds::net::frame::HEADER_LEN;
+            if rest.len() - at < len {
+                prop_assert!(reset, "truncated frame without a reset");
+                break;
+            }
+            let resp = Response::from_bytes(&rest[at..at + len]).unwrap();
+            at += len;
+            prop_assert!(
+                matches!(resp.reply, Reply::Error(WireError::Malformed(_))),
+                "soup must only ever elicit Malformed, got {:?}", resp.reply
+            );
+        }
+        prop_assert!(
+            at == rest.len() || reset,
+            "trailing partial garbage from the server without a reset"
+        );
+
+        // a fresh connection is served: the soup damaged nothing
+        let mut client = lds::net::Client::connect(addr).unwrap();
+        client.ping().unwrap();
+    }
 }

@@ -310,6 +310,7 @@ fn flooding_one_tenant_gets_typed_overload_while_others_complete() {
                 fingerprint: fp_flood,
                 task: Task::SampleExact,
                 seed,
+                deadline: None,
             })
             .unwrap();
     }
@@ -353,6 +354,7 @@ fn shutdown_drains_accepted_requests() {
             fingerprint: fp,
             task: Task::SampleExact,
             seed: 9,
+            deadline: None,
         })
         .unwrap();
     // wait until the server has *accepted* the request (a frame still
